@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+its plain-text rendering, and saves it under ``benchmarks/results/`` so a
+full ``pytest benchmarks/ --benchmark-only`` run leaves the complete
+paper-vs-measured record on disk (EXPERIMENTS.md is assembled from these).
+
+Scale: experiments run at a laptop-friendly size by default; set
+``REPRO_BENCH_SCALE=paper`` for larger runs (more blocks, bigger blocks).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALES = {
+    "quick": {"blocks": 2, "txs_per_block": 120},
+    "default": {"blocks": 3, "txs_per_block": 200},
+    "paper": {"blocks": 8, "txs_per_block": 200},
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return SCALES.get(name, SCALES["quick"])
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(result.rendered + "\n")
+        print("\n" + result.rendered)
+
+    return _save

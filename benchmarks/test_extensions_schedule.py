@@ -1,0 +1,92 @@
+"""Extension benchmarks: §7 schedules and the Saraph-Herlihy baseline.
+
+Not a paper table — this regenerates the §7 "future work" design study:
+the proposer/validator split at two schedule granularities, compared with
+the paper's own executor and the simplest related-work baseline.
+
+Findings recorded in EXPERIMENTS.md:
+- transaction-level dependency schedules *underperform* ParallelEVM on
+  hot-spot blocks (dependency chains serialise whole transactions — the
+  exact pathology the redo phase avoids);
+- shipping read *values* with the schedule (the operation-level endpoint,
+  BlockPilot-style) removes all waiting: the fastest validator mode.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ScheduledValidatorExecutor,
+    SerialExecutor,
+    TwoPhaseExecutor,
+    propose_schedule,
+)
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import standard_chain, standard_workload
+from repro.bench.report import render_table
+
+
+def run_schedule_study(txs_per_block: int, threads: int = 16):
+    chain = standard_chain()
+    block = standard_workload(chain, txs_per_block).block(14_000_000)
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+
+    two_phase = TwoPhaseExecutor(threads=threads).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    schedule, proposer = propose_schedule(
+        chain.fresh_world(), block.txs, block.env, threads=threads
+    )
+    dep_validator = ScheduledValidatorExecutor(
+        schedule, threads=threads
+    ).execute_block(chain.fresh_world(), block.txs, block.env)
+    value_validator = ScheduledValidatorExecutor(
+        schedule, threads=threads, use_read_values=True
+    ).execute_block(chain.fresh_world(), block.txs, block.env)
+
+    for result in (two_phase, dep_validator, value_validator):
+        assert result.writes == serial.writes
+
+    def speedup(result):
+        return serial.makespan_us / result.makespan_us
+
+    return {
+        "two-phase (Saraph-Herlihy)": speedup(two_phase),
+        "parallelevm (proposer)": speedup(proposer),
+        "validator: dependency schedule": speedup(dep_validator),
+        "validator: value schedule": speedup(value_validator),
+        "critical_path": schedule.critical_path_length,
+        "edges": schedule.edge_count(),
+        "discarded": two_phase.stats["discarded"],
+    }
+
+
+def test_schedule_study(benchmark, scale, save_result):
+    data = benchmark.pedantic(
+        lambda: run_schedule_study(scale["txs_per_block"]),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, f"{value:.2f}x"]
+        for name, value in data.items()
+        if isinstance(value, float)
+    ]
+    rows.append(["dependency critical path (txs)", data["critical_path"]])
+    rows.append(["dependency edges", data["edges"]])
+    rows.append(["two-phase discarded txs", data["discarded"]])
+    rendered = render_table(
+        "Extension — §7 proposer/validator schedules", ["configuration", "value"], rows
+    )
+    save_result(ExperimentResult("extension_schedule", data, rendered))
+
+    # The §7 story, as shapes:
+    assert data["two-phase (Saraph-Herlihy)"] < data["parallelevm (proposer)"]
+    assert (
+        data["validator: dependency schedule"]
+        < data["parallelevm (proposer)"]
+    ), "tx-level schedules should lose to operation-level redo on hot blocks"
+    assert (
+        data["validator: value schedule"] > data["parallelevm (proposer)"]
+    ), "value schedules remove all speculation cost"

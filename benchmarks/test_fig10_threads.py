@@ -1,0 +1,36 @@
+"""Figure 10: speedup versus thread count for all four algorithms.
+
+Paper shape: ParallelEVM dominates at every thread count and keeps scaling
+to 16 threads while 2PL stays flat and OCC saturates early.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_fig10
+
+
+def test_fig10(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig10(
+            thread_counts=(1, 2, 4, 8, 16),
+            blocks=max(1, scale["blocks"] - 1),
+            txs_per_block=scale["txs_per_block"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    series = result.data["series"]
+
+    # ParallelEVM on top at every measured thread count beyond 1.
+    for i, threads in enumerate(result.data["threads"]):
+        if threads == 1:
+            continue
+        for other in ("2pl", "occ", "block-stm"):
+            assert series["parallelevm"][i] >= series[other][i], (threads, other)
+
+    # ParallelEVM keeps improving with more threads (monotone, paper shape).
+    pe = series["parallelevm"]
+    assert pe[0] < pe[2] < pe[-1]
+    # 2PL barely profits from parallelism.
+    assert series["2pl"][-1] < 2.0

@@ -1,0 +1,35 @@
+"""Figure 11: speedup versus conflicting-transaction ratio (ERC20 blocks).
+
+Paper shape: near-parity of OCC / Block-STM / ParallelEVM in conflict-free
+blocks (tracking overhead is negligible); as contention grows, OCC and
+Block-STM fall off steeply while ParallelEVM degrades gently — the
+operation-level redo keeps only the conflicting operations serial.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_fig11
+
+
+def test_fig11(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig11(
+            ratios=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+            txs_per_block=min(150, scale["txs_per_block"]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    series = result.data["series"]
+
+    # Near-parity at 0% conflicts: ParallelEVM within 20% of OCC.
+    assert series["parallelevm"][0] > series["occ"][0] * 0.8
+
+    # At 100% conflicts ParallelEVM holds a decisive lead.
+    assert series["parallelevm"][-1] > series["occ"][-1] * 1.8
+    assert series["parallelevm"][-1] > series["block-stm"][-1] * 1.5
+
+    # OCC and Block-STM degrade monotonically-ish from 0% to 100%.
+    assert series["occ"][-1] < series["occ"][0] / 2
+    assert series["block-stm"][-1] < series["block-stm"][0] / 2

@@ -1,0 +1,27 @@
+"""Figure 12: ParallelEVM speedup versus block transaction count.
+
+Paper shape: speedup grows with block size — bigger blocks expose more
+parallelism relative to the fixed per-block costs, showing ParallelEVM
+remains efficient if future blocks grow beyond today's ~200 transactions.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_fig12
+
+
+def test_fig12(benchmark, scale, save_result):
+    sizes = (12, 25, 50, 100, 200, 400)
+    result = benchmark.pedantic(
+        lambda: run_fig12(block_sizes=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    speedups = result.data["speedups"]
+
+    # The paper's rising trend: small blocks are the slowest, and larger
+    # blocks hold their gains (a high plateau, not a decline back down).
+    assert speedups[0] == min(speedups)
+    assert speedups[-1] > speedups[0] * 1.15
+    assert speedups[-1] > 0.8 * max(speedups)

@@ -1,0 +1,43 @@
+"""§6.4 overhead analysis: log size, redo cost, tracking, memory.
+
+Paper: SSA log ≈ 5.0% of instructions (127/2559); ≈7 entries re-executed
+per conflicting tx (0.3% of instructions); redo ≈ 4.9% of block time; 87%
+of conflicts resolved by redo; tracking ≈ 4.5% of read-phase time; memory
+overhead ≈ 4.4%.
+
+The hand-assembled workload contracts execute ~20x fewer instructions than
+the solc-compiled originals, so the *ratios against instructions* run
+higher here while the absolute redo slice (entries per conflict) matches
+the paper almost exactly — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_overhead
+
+
+def test_overhead(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: run_overhead(
+            blocks=scale["blocks"], txs_per_block=scale["txs_per_block"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    data = result.data
+
+    # The log is a small fraction of the executed instructions.
+    assert data["log_to_instruction_ratio"] < 0.35
+
+    # The redo slice is a handful of entries (paper: ~7).
+    assert 2 <= data["redo_entries_per_conflict"] <= 30
+
+    # Redo resolves the overwhelming majority of conflicts (paper: 87%).
+    assert data["redo_success_rate"] > 0.7
+
+    # Tracking overhead is a few percent of read-phase time (paper: 4.5%).
+    assert data["tracking_time_share"] < 0.10
+
+    # Memory overhead is single-digit percent (paper: 4.41%).
+    assert data["memory_overhead"] < 0.25

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Contention study: the Figure 11 experiment as a runnable scenario.
+
+Sweeps the conflicting-transaction ratio of ERC20 blocks from 0% to 100%
+(every conflicting transaction drains the same owner via transferFrom —
+the paper's §3.2 pattern) and compares how OCC, Block-STM and ParallelEVM
+degrade.  This is the experiment that makes the operation-level argument
+visible: at 100% contention, transaction-level schemes collapse toward
+serial while ParallelEVM re-executes three-entry slices.
+
+Run:  python examples/erc20_contention_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BlockSTMExecutor,
+    ChainSpec,
+    OCCExecutor,
+    ParallelEVMExecutor,
+    SerialExecutor,
+    build_chain,
+    conflict_ratio_block,
+)
+
+RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+TXS = 120
+
+
+def main() -> None:
+    chain = build_chain(ChainSpec(tokens=2, amm_pairs=1, accounts=300))
+    executors = [
+        OCCExecutor(threads=16),
+        BlockSTMExecutor(threads=16),
+        ParallelEVMExecutor(threads=16),
+    ]
+
+    print(f"{'conflict %':<12}" + "".join(f"{e.name:>14}" for e in executors)
+          + f"{'PE redo stats':>28}")
+    print("-" * 82)
+
+    for i, ratio in enumerate(RATIOS):
+        block = conflict_ratio_block(chain, 14_000_000 + i, TXS, ratio=ratio)
+        serial = SerialExecutor().execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        row = f"{ratio:<12.0%}"
+        redo_note = ""
+        for executor in executors:
+            result = executor.execute_block(
+                chain.fresh_world(), block.txs, block.env
+            )
+            assert result.writes == serial.writes
+            row += f"{serial.makespan_us / result.makespan_us:>13.2f}x"
+            if executor.name == "parallelevm":
+                stats = result.stats
+                redo_note = (
+                    f"{stats['conflicting_txs']:>4} conflicts, "
+                    f"{stats['redo_entries_total']:>5} entries redone"
+                )
+        print(row + f"{redo_note:>28}")
+
+    print(
+        "\nPaper (Figure 11): the three algorithms start at parity in "
+        "conflict-free blocks;\nas contention grows, OCC and Block-STM fall "
+        "off steeply while ParallelEVM degrades\ngently — only the "
+        "operations touching the hot balance re-execute."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's §7 future work, running: proposer/validator schedules.
+
+The proposer executes the block with ParallelEVM and derives a schedule
+from the committed footprints; validators then replay the block under two
+schedule granularities:
+
+- a *transaction-level dependency schedule* (each transaction waits for
+  the transactions whose writes it reads) — which, instructively, loses
+  to plain ParallelEVM on hot blocks because dependency chains serialise
+  whole transactions;
+- a *value schedule* (the proposer also ships the expected read values,
+  BlockPilot-style) — the operation-level endpoint: every transaction
+  executes immediately with serial-equivalent inputs.
+
+Run:  python examples/proposer_validator_schedules.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChainSpec,
+    MainnetConfig,
+    MainnetWorkload,
+    ParallelEVMExecutor,
+    ScheduledValidatorExecutor,
+    SerialExecutor,
+    build_chain,
+    propose_schedule,
+)
+
+
+def main() -> None:
+    chain = build_chain(ChainSpec(tokens=8, amm_pairs=3, accounts=500))
+    block = MainnetWorkload(chain, MainnetConfig(txs_per_block=160)).block(
+        14_000_000
+    )
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+
+    print("Proposer: executing the block with ParallelEVM and deriving the "
+          "schedule...")
+    schedule, proposer_result = propose_schedule(
+        chain.fresh_world(), block.txs, block.env
+    )
+    print(
+        f"  schedule: {schedule.edge_count()} dependency edges, "
+        f"critical path {schedule.critical_path_length} of "
+        f"{len(block.txs)} transactions\n"
+    )
+
+    rows = [("parallelevm (proposer run)", proposer_result, "")]
+
+    dep = ScheduledValidatorExecutor(schedule, threads=16).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    rows.append(
+        ("validator: dependency schedule", dep,
+         f"{dep.stats['fallbacks']} fallbacks")
+    )
+
+    value = ScheduledValidatorExecutor(
+        schedule, threads=16, use_read_values=True
+    ).execute_block(chain.fresh_world(), block.txs, block.env)
+    rows.append(
+        ("validator: value schedule", value,
+         f"{value.stats['fallbacks']} fallbacks")
+    )
+
+    print(f"{'configuration':<34} {'speedup':>8}  notes")
+    print("-" * 60)
+    for name, result, notes in rows:
+        assert result.writes == serial.writes, f"{name} diverged!"
+        print(
+            f"{name:<34} {serial.makespan_us / result.makespan_us:>7.2f}x  "
+            f"{notes}"
+        )
+
+    print(
+        "\nTakeaway: scheduling at transaction granularity re-serialises the "
+        "hot chains\nthat ParallelEVM's redo phase keeps parallel; shipping "
+        "read values (operation-\nlevel information) removes speculation "
+        "cost entirely.  All three validators\nreproduced the serial state."
+    )
+
+
+if __name__ == "__main__":
+    main()

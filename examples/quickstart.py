@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: execute one mainnet-like block with every algorithm.
+
+Builds a genesis chain (ERC20 tokens, AMM pairs, a crowdfund, funded
+users), synthesizes a block with the paper's contention profile, runs it
+through the serial baseline and all four concurrent executors, verifies
+that every executor reproduces the serial state (Theorem 1), and prints
+the Table-1-style speedup comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BlockSTMExecutor,
+    ChainSpec,
+    MainnetConfig,
+    MainnetWorkload,
+    OCCExecutor,
+    ParallelEVMExecutor,
+    SerialExecutor,
+    TwoPLExecutor,
+    build_chain,
+)
+
+
+def main() -> None:
+    print("Building genesis chain (tokens, AMM pairs, funded accounts)...")
+    chain = build_chain(ChainSpec(tokens=8, amm_pairs=3, accounts=500))
+
+    print("Synthesizing a mainnet-like block (hot-spot contention)...")
+    workload = MainnetWorkload(chain, MainnetConfig(txs_per_block=160))
+    block = workload.block(14_000_000)
+    print(f"  block {block.number}: {len(block)} transactions\n")
+
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    print(
+        f"serial baseline: {serial.makespan_us / 1000:.2f} ms simulated, "
+        f"{serial.gas_used:,} gas"
+    )
+
+    print(f"\n{'algorithm':<14} {'speedup':>8}  notes")
+    print("-" * 60)
+    for executor in (
+        TwoPLExecutor(threads=16),
+        OCCExecutor(threads=16),
+        BlockSTMExecutor(threads=16),
+        ParallelEVMExecutor(threads=16),
+    ):
+        result = executor.execute_block(chain.fresh_world(), block.txs, block.env)
+        assert result.writes == serial.writes, "state diverged from serial!"
+        speedup = serial.makespan_us / result.makespan_us
+        notes = _describe(executor.name, result.stats)
+        print(f"{executor.name:<14} {speedup:>7.2f}x  {notes}")
+
+    print(
+        "\nAll executors produced a final state identical to serial "
+        "execution (Theorem 1)."
+    )
+    print("Paper reference (Table 1): 2PL 1.26x, OCC 2.49x, "
+          "Block-STM 2.82x, ParallelEVM 4.28x.")
+
+
+def _describe(name: str, stats: dict) -> str:
+    if name == "2pl":
+        return f"{stats['wounds']} wound-aborts"
+    if name == "occ":
+        return f"{stats['aborts']} aborted+re-executed txs"
+    if name == "block-stm":
+        return (
+            f"{stats['aborts']} aborts, "
+            f"{stats['estimate_suspensions']} estimate suspensions"
+        )
+    if name == "parallelevm":
+        return (
+            f"{stats['conflicting_txs']} conflicts, "
+            f"{stats['redo_successes']} resolved by redo "
+            f"({stats['redo_entries_total']} log entries re-executed)"
+        )
+    return ""
+
+
+if __name__ == "__main__":
+    main()

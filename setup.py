@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail; the legacy ``setup.py``
+path keeps ``pip install -e .`` working.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — a from-scratch reproduction of ParallelEVM (EuroSys '25).
+
+Operation-level concurrent transaction execution for EVM-compatible
+blockchains: an OCC variant whose redo phase re-executes only the
+operations that depend on conflicting storage reads, guided by a
+dynamically generated SSA operation log.
+
+Quickstart::
+
+    from repro import (
+        build_chain, ChainSpec, MainnetWorkload,
+        SerialExecutor, ParallelEVMExecutor,
+    )
+
+    chain = build_chain(ChainSpec(accounts=300))
+    block = MainnetWorkload(chain).block(14_000_000)
+
+    serial = SerialExecutor().execute_block(chain.fresh_world(), block.txs, block.env)
+    parallel = ParallelEVMExecutor(threads=16).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    assert parallel.writes == serial.writes          # Theorem 1
+    print(serial.makespan_us / parallel.makespan_us)  # the speedup
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .concurrency import (
+    BlockExecutor,
+    BlockResult,
+    BlockSTMExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    TwoPhaseExecutor,
+    TwoPLExecutor,
+)
+from .core import (
+    BlockSchedule,
+    ParallelEVMExecutor,
+    ScheduledValidatorExecutor,
+    SSATracer,
+    propose_schedule,
+    redo,
+)
+from .evm import BlockEnv, Transaction, TxResult, assemble, execute_transaction
+from .sim import CostModel
+from .analysis import analyze_block
+from .state import StateView, WorldState, receipts_root
+from .workloads import (
+    Block,
+    Chain,
+    ChainSpec,
+    MainnetConfig,
+    MainnetWorkload,
+    build_chain,
+    conflict_ratio_block,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockExecutor",
+    "BlockResult",
+    "SerialExecutor",
+    "TwoPLExecutor",
+    "OCCExecutor",
+    "BlockSTMExecutor",
+    "TwoPhaseExecutor",
+    "ParallelEVMExecutor",
+    "BlockSchedule",
+    "ScheduledValidatorExecutor",
+    "propose_schedule",
+    "SSATracer",
+    "redo",
+    "Transaction",
+    "TxResult",
+    "BlockEnv",
+    "execute_transaction",
+    "assemble",
+    "WorldState",
+    "StateView",
+    "receipts_root",
+    "analyze_block",
+    "CostModel",
+    "Block",
+    "Chain",
+    "ChainSpec",
+    "build_chain",
+    "MainnetConfig",
+    "MainnetWorkload",
+    "conflict_ratio_block",
+    "__version__",
+]

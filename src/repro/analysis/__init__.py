@@ -1,0 +1,15 @@
+"""Workload analysis: conflict graphs and theoretical speedup bounds.
+
+The paper grounds its expectations in the literature's observation that
+"the optimal performance gain varies from 2x to 8x" on real blockchains
+because the *critical path* — the longest chain of dependent transactions —
+bounds any transaction-level scheme [Garamvölgyi et al.; Reijsbergen &
+Dinh; Saraph & Herlihy].  This package computes those bounds for any block
+so benchmarks can report achieved speedup against the workload's own
+ceiling — and quantify how far ParallelEVM's operation-level strategy
+pushes *past* the transaction-level bound.
+"""
+
+from .conflict_graph import BlockConflictAnalysis, analyze_block
+
+__all__ = ["BlockConflictAnalysis", "analyze_block"]

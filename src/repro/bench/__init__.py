@@ -1,0 +1,50 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each experiment function is pure given its parameters (deterministic
+workloads, deterministic simulated machine), returns a structured result,
+and can be rendered as text with :mod:`repro.bench.report`.  The
+``benchmarks/`` tree wraps these in pytest-benchmark entries; EXPERIMENTS.md
+records the paper-versus-measured outcomes.
+"""
+
+from .harness import (
+    SpeedupSummary,
+    executor_suite,
+    measure_speedups,
+    prefetched_world,
+    standard_chain,
+    standard_workload,
+)
+from .experiments import (
+    run_table1,
+    run_table2,
+    run_preexec,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig3,
+    run_overhead,
+)
+from .report import render_table, render_series, render_histogram
+
+__all__ = [
+    "SpeedupSummary",
+    "executor_suite",
+    "measure_speedups",
+    "prefetched_world",
+    "standard_chain",
+    "standard_workload",
+    "run_table1",
+    "run_table2",
+    "run_preexec",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig3",
+    "run_overhead",
+    "render_table",
+    "render_series",
+    "render_histogram",
+]

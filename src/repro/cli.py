@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+compare      run one synthesized block through every executor, print speedups
+experiment   run a named paper experiment (table1, fig11, ...), print it
+replay       replay a span of blocks with MPT state-root validation
+inspect      print the SSA operation log of one transaction and walk a redo
+
+Every command is deterministic: the same arguments print the same numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import experiments as exp
+from .bench.harness import executor_suite, standard_chain, standard_workload
+from .concurrency import SerialExecutor
+from .core.executor import ParallelEVMExecutor
+
+EXPERIMENTS = {
+    "table1": exp.run_table1,
+    "table2": exp.run_table2,
+    "preexec": exp.run_preexec,
+    "fig3": exp.run_fig3,
+    "fig9": exp.run_fig9,
+    "fig10": exp.run_fig10,
+    "fig11": exp.run_fig11,
+    "fig12": exp.run_fig12,
+    "overhead": exp.run_overhead,
+}
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    chain = standard_chain(accounts=args.accounts)
+    workload = standard_workload(chain, args.txs)
+    block = workload.block(args.block)
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    print(
+        f"block {block.number}: {len(block)} txs, serial "
+        f"{serial.makespan_us / 1000:.2f} ms simulated\n"
+    )
+    print(f"{'algorithm':<14} {'speedup':>8}")
+    print("-" * 24)
+    for executor in executor_suite(args.threads):
+        result = executor.execute_block(chain.fresh_world(), block.txs, block.env)
+        if result.writes != serial.writes:
+            print(f"{executor.name:<14}  STATE DIVERGED", file=sys.stderr)
+            return 1
+        print(
+            f"{executor.name:<14} "
+            f"{serial.makespan_us / result.makespan_us:>7.2f}x"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner()
+    print(result.rendered)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    chain = standard_chain(accounts=args.accounts)
+    workload = standard_workload(chain, args.txs)
+    serial_world = chain.fresh_world()
+    parallel_world = chain.fresh_world()
+    executor = ParallelEVMExecutor(threads=args.threads)
+
+    for number in range(args.block, args.block + args.count):
+        block = workload.block(number)
+        serial = SerialExecutor().execute_block(
+            serial_world, block.txs, block.env
+        )
+        serial_world.apply(serial.writes)
+        result = executor.execute_block(parallel_world, block.txs, block.env)
+        parallel_world.apply(result.writes)
+        serial_root = serial_world.state_root()
+        if parallel_world.state_root() != serial_root:
+            print(f"block {number}: STATE ROOT MISMATCH", file=sys.stderr)
+            return 1
+        print(
+            f"block {number}: root {serial_root.hex()[:16]}… ok, "
+            f"speedup {serial.makespan_us / result.makespan_us:.2f}x"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .concurrency.base import run_speculative
+    from .core.redo import redo
+    from .core.tracer import SSATracer
+    from .sim.cost import DEFAULT_COST_MODEL
+
+    chain = standard_chain(accounts=args.accounts)
+    workload = standard_workload(chain, max(args.tx_index + 1, 10))
+    block = workload.block(args.block)
+    tx = block.txs[args.tx_index]
+    tracer = SSATracer()
+    result, _ = run_speculative(
+        chain.fresh_world(), None, tx, block.env, DEFAULT_COST_MODEL,
+        tracer=tracer,
+    )
+    print(f"{tx.describe()}: success={result.success} "
+          f"instructions={result.ops_executed} log={len(tracer.log)} entries\n")
+    print(tracer.log.dump())
+
+    if result.read_set:
+        key, observed = next(iter(result.read_set.items()))
+        if isinstance(observed, int):
+            print(f"\n--- redo with {key} -> {observed + 1} ---")
+            outcome = redo(tracer.log, {key: observed + 1})
+            print(
+                f"success={outcome.success} reexecuted={outcome.reexecuted} "
+                f"guards={outcome.guards_checked} reason={outcome.reason}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParallelEVM (EuroSys '25) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="speedups of all executors on a block")
+    compare.add_argument("--txs", type=int, default=160)
+    compare.add_argument("--threads", type=int, default=16)
+    compare.add_argument("--accounts", type=int, default=500)
+    compare.add_argument("--block", type=int, default=14_000_000)
+    compare.set_defaults(func=_cmd_compare)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    replay = sub.add_parser("replay", help="replay blocks with root validation")
+    replay.add_argument("--block", type=int, default=14_000_000)
+    replay.add_argument("--count", type=int, default=3)
+    replay.add_argument("--txs", type=int, default=60)
+    replay.add_argument("--threads", type=int, default=16)
+    replay.add_argument("--accounts", type=int, default=120)
+    replay.set_defaults(func=_cmd_replay)
+
+    inspect = sub.add_parser("inspect", help="print one tx's SSA operation log")
+    inspect.add_argument("--block", type=int, default=14_000_000)
+    inspect.add_argument("--tx-index", type=int, default=0)
+    inspect.add_argument("--accounts", type=int, default=200)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Concurrency-control executors: serial, 2PL, OCC and Block-STM baselines.
+
+Each executor consumes a block (an ordered list of transactions) and a
+committed :class:`~repro.state.world.WorldState`, produces the block's final
+state delta, and reports the *simulated* makespan of processing the block on
+``threads`` cores.  All executors are required to produce a final state
+identical to serial execution (the paper's Theorem 1 / §6.2 check); the
+integration tests assert this on every workload.
+
+ParallelEVM itself lives in :mod:`repro.core.executor`; it shares this
+package's base machinery.
+"""
+
+from .base import BlockExecutor, BlockResult, run_speculative, settle_fees
+from .serial import SerialExecutor
+from .occ import OCCExecutor
+from .two_pl import TwoPLExecutor
+from .block_stm import BlockSTMExecutor
+from .two_phase import TwoPhaseExecutor
+
+__all__ = [
+    "BlockExecutor",
+    "BlockResult",
+    "run_speculative",
+    "settle_fees",
+    "SerialExecutor",
+    "OCCExecutor",
+    "TwoPLExecutor",
+    "BlockSTMExecutor",
+    "TwoPhaseExecutor",
+]

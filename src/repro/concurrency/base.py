@@ -1,0 +1,152 @@
+"""Shared machinery for block executors.
+
+Key decisions common to all algorithms:
+
+- **Speculation target.**  Speculative executions read through a
+  :class:`BlockOverlay` holding the writes of already-committed
+  transactions, falling back to the (simulated-latency) world state.
+- **Validation.**  A transaction's read set is compared against current
+  committed values; mismatched keys with their corrected values form the
+  ``conflicts`` map handed to ParallelEVM's redo phase (or triggering aborts
+  in OCC/Block-STM).
+- **Fee settlement.**  Every transaction debits its sender's balance for
+  gas, but the coinbase credit is accumulated and applied once per block —
+  per-transaction coinbase writes would serialise every algorithm on one
+  hot key (geth itself treats the miner payment outside the parallelizable
+  region, as do Block-STM deployments).
+- **Timing.**  Executors never measure wall-clock: they return simulated
+  makespans assembled from per-execution cost meters and the scheduling
+  model of the specific algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..evm.interpreter import execute_transaction
+from ..evm.message import BlockEnv, Transaction, TxResult
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..sim.meter import CostMeter
+from ..state.keys import StateKey, balance_key
+from ..state.view import BlockOverlay, StateView
+from ..state.world import WorldState
+
+
+@dataclass(slots=True)
+class BlockResult:
+    """The outcome of executing one block with some executor."""
+
+    writes: dict[StateKey, object]
+    makespan_us: float
+    tx_results: list[TxResult]
+    threads: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def gas_used(self) -> int:
+        return sum(r.gas_used for r in self.tx_results)
+
+
+class BlockExecutor(ABC):
+    """Interface every concurrency-control algorithm implements."""
+
+    name: str = "base"
+
+    def __init__(
+        self, threads: int = 16, cost_model: CostModel = DEFAULT_COST_MODEL
+    ) -> None:
+        self.threads = threads
+        self.cost_model = cost_model
+
+    @abstractmethod
+    def execute_block(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
+        """Execute ``txs`` in block order against ``world``.
+
+        Must NOT mutate ``world`` permanently except via the returned
+        ``writes`` (callers decide whether to apply them); reading through
+        ``world`` (which warms its cache) is expected.
+        """
+
+
+def run_speculative(
+    world: WorldState,
+    overlay: BlockOverlay | dict | None,
+    tx: Transaction,
+    env: BlockEnv,
+    cost_model: CostModel,
+    tracer=None,
+) -> tuple[TxResult, CostMeter]:
+    """One read-phase execution: run ``tx`` against world+overlay.
+
+    Returns the result (read/write sets, logs, gas) and the meter whose
+    total is the execution's simulated duration.
+    """
+    meter = CostMeter()
+    if tracer is not None and getattr(tracer, "meter", None) is None:
+        tracer.meter = meter
+    view = StateView(world, base=overlay, meter=meter, cost_model=cost_model)
+    result = execute_transaction(
+        view, tx, env, tracer=tracer, meter=meter, cost_model=cost_model
+    )
+    return result, meter
+
+
+def find_conflicts(
+    read_set: dict[StateKey, object],
+    world: WorldState,
+    overlay: BlockOverlay,
+) -> dict[StateKey, object]:
+    """Validation: keys whose observed value no longer matches committed state.
+
+    Returns the paper's ``conflicts`` map (key -> corrected value); empty
+    means validation succeeded.
+    """
+    conflicts: dict[StateKey, object] = {}
+    for key, observed in read_set.items():
+        current = overlay.get(key, _OVERLAY_MISS)
+        if current is _OVERLAY_MISS:
+            current = world.read(key)
+        if current != observed:
+            conflicts[key] = current
+    return conflicts
+
+
+_OVERLAY_MISS = object()
+
+
+def validation_cost_us(result: TxResult, cost_model: CostModel) -> float:
+    """Simulated cost of validating one transaction's read set."""
+    return cost_model.validate_key_us * max(1, len(result.read_set))
+
+
+def commit_cost_us(result: TxResult, cost_model: CostModel) -> float:
+    """Simulated cost of publishing one transaction's write set."""
+    return cost_model.commit_key_us * max(1, len(result.write_set))
+
+
+def settle_fees(
+    overlay: BlockOverlay,
+    world: WorldState,
+    results: list[TxResult],
+    env: BlockEnv,
+) -> None:
+    """Credit the accumulated gas fees to the coinbase, once per block."""
+    total = sum(r.gas_used * r.tx.gas_price for r in results)
+    if total == 0:
+        return
+    key = balance_key(env.coinbase)
+    current = overlay.get(key, _OVERLAY_MISS)
+    if current is _OVERLAY_MISS:
+        current = world.read(key)
+    overlay.apply({key: current + total})
+
+
+def overlay_get(overlay: BlockOverlay, world: WorldState, key: StateKey):
+    """Committed value of ``key`` (overlay first, then world)."""
+    value = overlay.get(key, _OVERLAY_MISS)
+    if value is _OVERLAY_MISS:
+        return world.read(key)
+    return value

@@ -1,0 +1,46 @@
+"""The serial baseline: geth-style in-order execution.
+
+Its makespan is the denominator of every speedup figure in the paper, and
+its final state is the reference all concurrent executors must reproduce
+(Theorem 1).
+"""
+
+from __future__ import annotations
+
+from ..evm.message import BlockEnv, Transaction
+from ..state.view import BlockOverlay
+from ..state.world import WorldState
+from .base import (
+    BlockExecutor,
+    BlockResult,
+    commit_cost_us,
+    run_speculative,
+    settle_fees,
+)
+
+
+class SerialExecutor(BlockExecutor):
+    """Executes transactions one after another on a single thread."""
+
+    name = "serial"
+
+    def execute_block(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
+        overlay = BlockOverlay()
+        results = []
+        makespan = 0.0
+        for tx in txs:
+            result, meter = run_speculative(
+                world, overlay, tx, env, self.cost_model
+            )
+            overlay.apply(result.write_set)
+            makespan += meter.total_us + commit_cost_us(result, self.cost_model)
+            results.append(result)
+        settle_fees(overlay, world, results, env)
+        return BlockResult(
+            writes=dict(overlay.items()),
+            makespan_us=makespan,
+            tx_results=results,
+            threads=1,
+        )

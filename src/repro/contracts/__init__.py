@@ -1,0 +1,44 @@
+"""Hand-assembled workload contracts.
+
+The paper's workload analysis (§3.1) finds that nine of the ten hottest
+Ethereum contracts are ERC20 tokens, with AMM-style DeFi routers composing
+them.  This package provides from-scratch assembly implementations of those
+contract families, plus the ABI helpers the workload generators use to build
+call data and genesis storage layouts.
+"""
+
+from .abi import selector, encode_call, encode_address, encode_uint256
+from .erc20 import (
+    ERC20,
+    BALANCES_SLOT,
+    ALLOWANCES_SLOT,
+    TOTAL_SUPPLY_SLOT,
+    balance_slot,
+    allowance_slot,
+)
+from .amm import AMM, RESERVE0_SLOT, RESERVE1_SLOT, TOKEN0_SLOT, TOKEN1_SLOT
+from .crowdfund import Crowdfund, TOTAL_RAISED_SLOT, contribution_slot
+from .proxy import Proxy, IMPLEMENTATION_SLOT
+
+__all__ = [
+    "selector",
+    "encode_call",
+    "encode_address",
+    "encode_uint256",
+    "ERC20",
+    "BALANCES_SLOT",
+    "ALLOWANCES_SLOT",
+    "TOTAL_SUPPLY_SLOT",
+    "balance_slot",
+    "allowance_slot",
+    "AMM",
+    "RESERVE0_SLOT",
+    "RESERVE1_SLOT",
+    "TOKEN0_SLOT",
+    "TOKEN1_SLOT",
+    "Crowdfund",
+    "TOTAL_RAISED_SLOT",
+    "contribution_slot",
+    "Proxy",
+    "IMPLEMENTATION_SLOT",
+]

@@ -1,0 +1,42 @@
+"""Minimal Solidity ABI helpers: selectors and static-argument encoding."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..crypto import keccak256
+
+
+@lru_cache(maxsize=256)
+def selector(signature: str) -> int:
+    """The 4-byte function selector of a canonical signature, as an int."""
+    return int.from_bytes(keccak256(signature.encode())[:4], "big")
+
+
+@lru_cache(maxsize=256)
+def event_topic(signature: str) -> int:
+    """The 32-byte topic0 of an event signature, as an int."""
+    return int.from_bytes(keccak256(signature.encode()), "big")
+
+
+def encode_uint256(value: int) -> bytes:
+    return value.to_bytes(32, "big")
+
+
+def encode_address(address: bytes) -> bytes:
+    return address.rjust(32, b"\x00")
+
+
+def encode_call(signature: str, *args: int | bytes) -> bytes:
+    """Build call data: 4-byte selector + 32-byte static arguments.
+
+    Arguments may be ints (uint256) or 20-byte addresses; dynamic types are
+    not needed by any workload contract.
+    """
+    out = bytearray(selector(signature).to_bytes(4, "big"))
+    for arg in args:
+        if isinstance(arg, bytes):
+            out += encode_address(arg)
+        else:
+            out += encode_uint256(arg)
+    return bytes(out)

@@ -1,0 +1,114 @@
+"""A constant-product AMM pair (Uniswap-V2 style) in EVM assembly.
+
+The pair holds two ERC20 token addresses (slots 0/1) and their reserves
+(slots 2/3).  ``swap`` pulls the input token via ``transferFrom`` (a nested
+CALL into the ERC20), prices the output with the x*y=k fee-adjusted formula,
+updates both reserves and pays out via ``transfer`` (another nested CALL).
+
+Every swap read-modify-writes both reserve slots, making AMM pairs the
+hottest multi-transaction contention points in DeFi-heavy blocks — the
+workload generator uses them to reproduce the paper's hot-spot profile.
+The nested calls exercise cross-frame SSA tracking (calldata/returndata
+shadows) in repro.core.tracer.
+"""
+
+from __future__ import annotations
+
+from ..evm.assembler import assemble
+from .abi import selector
+
+TOKEN0_SLOT = 0
+TOKEN1_SLOT = 1
+RESERVE0_SLOT = 2
+RESERVE1_SLOT = 3
+
+SEL_SWAP = selector("swap(uint256,uint256,address)")
+SEL_GET_RESERVES = selector("getReserves()")
+
+# Pre-shifted selector words for building nested-call calldata via MSTORE.
+_TRANSFER_FROM_WORD = selector("transferFrom(address,address,uint256)") << 224
+_TRANSFER_WORD = selector("transfer(address,uint256)") << 224
+
+_SOURCE = f"""
+; ---- dispatcher -----------------------------------------------------------
+    PUSH0 CALLDATALOAD PUSH 224 SHR
+    DUP1 PUSH {SEL_SWAP} EQ PUSH @fn_swap JUMPI
+    DUP1 PUSH {SEL_GET_RESERVES} EQ PUSH @fn_getreserves JUMPI
+    PUSH0 PUSH0 REVERT
+
+; ---- swap(uint256 amountIn, uint256 zeroForOne, address to) ----------------
+fn_swap:
+    JUMPDEST
+    POP
+    PUSH 36 CALLDATALOAD
+    PUSH @swap_zero_for_one JUMPI
+    ; direction token1 -> token0
+    PUSH {TOKEN1_SLOT} SLOAD     ; tokenIn
+    PUSH {TOKEN0_SLOT} SLOAD     ; tokenOut
+    PUSH {RESERVE1_SLOT}         ; reserveIn slot
+    PUSH {RESERVE0_SLOT}         ; reserveOut slot
+    PUSH @swap_common JUMP
+swap_zero_for_one:
+    JUMPDEST
+    PUSH {TOKEN0_SLOT} SLOAD
+    PUSH {TOKEN1_SLOT} SLOAD
+    PUSH {RESERVE0_SLOT}
+    PUSH {RESERVE1_SLOT}
+swap_common:
+    JUMPDEST
+    ; stack: [tokenIn, tokenOut, slotIn, slotOut]
+    ; pull input: tokenIn.transferFrom(caller, this, amountIn)
+    PUSH {_TRANSFER_FROM_WORD} PUSH0 MSTORE
+    CALLER PUSH 4 MSTORE
+    ADDRESS PUSH 36 MSTORE
+    PUSH 4 CALLDATALOAD PUSH 68 MSTORE
+    PUSH 32 PUSH 128 PUSH 100 PUSH0 PUSH0
+    DUP9 PUSH 200000 CALL
+    ISZERO PUSH @revert JUMPI
+    ; load reserves
+    DUP2 SLOAD                   ; reserveIn
+    DUP2 SLOAD                   ; reserveOut
+    ; stack: [tokenIn, tokenOut, slotIn, slotOut, rIn, rOut]
+    PUSH 997
+    PUSH 4 CALLDATALOAD
+    MUL                          ; f = amountIn * 997
+    DUP2 DUP2 MUL                ; numerator = f * rOut
+    SWAP1                        ; [.., rIn, rOut, num, f]
+    DUP4 PUSH 1000 MUL           ; rIn * 1000
+    ADD                          ; denominator = rIn*1000 + f
+    SWAP1 DIV                    ; amountOut = num / den
+    ; stack: [tokenIn, tokenOut, slotIn, slotOut, rIn, rOut, aOut]
+    DUP1 SWAP2                   ; [.., rIn, aOut, aOut, rOut]
+    SUB                          ; newROut = rOut - aOut
+    DUP4 SSTORE                  ; reserves[slotOut] = newROut
+    ; stack: [tokenIn, tokenOut, slotIn, slotOut, rIn, aOut]
+    SWAP1
+    PUSH 4 CALLDATALOAD ADD      ; newRIn = rIn + amountIn
+    DUP4 SSTORE                  ; reserves[slotIn] = newRIn
+    ; stack: [tokenIn, tokenOut, slotIn, slotOut, aOut]
+    ; pay out: tokenOut.transfer(to, amountOut)
+    PUSH {_TRANSFER_WORD} PUSH0 MSTORE
+    PUSH 68 CALLDATALOAD PUSH 4 MSTORE
+    DUP1 PUSH 36 MSTORE
+    PUSH 32 PUSH 128 PUSH 68 PUSH0 PUSH0
+    DUP9 PUSH 200000 CALL
+    ISZERO PUSH @revert JUMPI
+    ; return amountOut
+    PUSH0 MSTORE
+    POP POP POP POP
+    PUSH 32 PUSH0 RETURN
+
+; ---- getReserves() ----------------------------------------------------------
+fn_getreserves:
+    JUMPDEST
+    POP
+    PUSH {RESERVE0_SLOT} SLOAD PUSH0 MSTORE
+    PUSH {RESERVE1_SLOT} SLOAD PUSH 32 MSTORE
+    PUSH 64 PUSH0 RETURN
+
+revert:
+    JUMPDEST
+    PUSH0 PUSH0 REVERT
+"""
+
+AMM = assemble(_SOURCE)

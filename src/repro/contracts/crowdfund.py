@@ -1,0 +1,63 @@
+"""A crowdfunding-style contract with a single global hot counter.
+
+The paper cites crowdfunding agreements (alongside CryptoKitties) as
+contracts that have strained Ethereum with hot-spot contention (§3.1).
+``contribute(amount)`` read-modify-writes one global ``totalRaised`` slot —
+every contributing transaction in a block conflicts there, while each
+contributor's own tally stays conflict-free.  This is the cleanest possible
+stress case for operation-level redo: exactly one RMW chain per transaction
+needs re-execution.
+"""
+
+from __future__ import annotations
+
+from ..crypto import storage_slot_for_mapping
+from ..evm.assembler import assemble
+from .abi import selector
+
+TOTAL_RAISED_SLOT = 0
+CONTRIBUTIONS_SLOT = 1
+
+SEL_CONTRIBUTE = selector("contribute(uint256)")
+SEL_TOTAL_RAISED = selector("totalRaised()")
+
+
+def contribution_slot(contributor: bytes) -> int:
+    """Storage slot of ``contributions[contributor]``."""
+    return storage_slot_for_mapping(contributor, CONTRIBUTIONS_SLOT)
+
+
+_SOURCE = f"""
+    PUSH0 CALLDATALOAD PUSH 224 SHR
+    DUP1 PUSH {SEL_CONTRIBUTE} EQ PUSH @fn_contribute JUMPI
+    DUP1 PUSH {SEL_TOTAL_RAISED} EQ PUSH @fn_totalraised JUMPI
+    PUSH0 PUSH0 REVERT
+
+fn_contribute:
+    JUMPDEST
+    POP
+    PUSH 4 CALLDATALOAD          ; amount
+    ; totalRaised += amount      (the global hot slot)
+    PUSH {TOTAL_RAISED_SLOT} SLOAD
+    DUP2 ADD
+    PUSH {TOTAL_RAISED_SLOT} SSTORE
+    ; contributions[caller] += amount
+    CALLER PUSH0 MSTORE
+    PUSH {CONTRIBUTIONS_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3
+    DUP1 SLOAD
+    DUP3 ADD
+    SWAP1 SSTORE
+    POP
+    PUSH 1 PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+fn_totalraised:
+    JUMPDEST
+    POP
+    PUSH {TOTAL_RAISED_SLOT} SLOAD
+    PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+"""
+
+Crowdfund = assemble(_SOURCE)

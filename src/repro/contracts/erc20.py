@@ -1,0 +1,180 @@
+"""A from-scratch ERC20 token in EVM assembly.
+
+Mirrors the paper's Figure 4 contract: ``balances`` mapping at slot 1,
+``allowances`` (owner => spender => amount) at slot 2, with the two
+``require`` checks (balance sufficiency in ``_transfer``, allowance
+sufficiency in ``_useAllowance``) that become constraint guards in the SSA
+operation log.  Storage layout follows Solidity's mapping convention so the
+generated workloads touch realistic keccak-derived slots.
+"""
+
+from __future__ import annotations
+
+from ..crypto import storage_slot_for_mapping
+from ..evm.assembler import assemble
+from .abi import event_topic, selector
+
+TOTAL_SUPPLY_SLOT = 0
+BALANCES_SLOT = 1
+ALLOWANCES_SLOT = 2
+
+SEL_TRANSFER = selector("transfer(address,uint256)")
+SEL_TRANSFER_FROM = selector("transferFrom(address,address,uint256)")
+SEL_APPROVE = selector("approve(address,uint256)")
+SEL_BALANCE_OF = selector("balanceOf(address)")
+SEL_ALLOWANCE = selector("allowance(address,address)")
+SEL_TOTAL_SUPPLY = selector("totalSupply()")
+
+TRANSFER_TOPIC = event_topic("Transfer(address,address,uint256)")
+APPROVAL_TOPIC = event_topic("Approval(address,address,uint256)")
+
+
+def balance_slot(holder: bytes) -> int:
+    """Storage slot of ``balances[holder]``."""
+    return storage_slot_for_mapping(holder, BALANCES_SLOT)
+
+
+def allowance_slot(owner: bytes, spender: bytes) -> int:
+    """Storage slot of ``allowances[owner][spender]``."""
+    inner = storage_slot_for_mapping(owner, ALLOWANCES_SLOT)
+    return storage_slot_for_mapping(spender, inner)
+
+
+# The shared balance-move body.  Stack on entry: [amount, to, from] (from on
+# top); consumes all three.  Scratch memory [0:64] computes mapping slots.
+# The balance check at the top is the paper's line-9 require - the redo
+# phase re-validates it as a constraint guard.
+_TRANSFER_BODY = f"""
+    PUSH0 MSTORE                 ; mem[0] = from
+    PUSH {BALANCES_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3           ; slot of balances[from]
+    DUP1 SLOAD                   ; balances[from]
+    DUP4 DUP2 LT                 ; balances[from] < amount ?
+    PUSH @revert JUMPI
+    DUP4 SWAP1 SUB               ; balances[from] - amount
+    SWAP1 SSTORE
+    PUSH0 MSTORE                 ; mem[0] = to
+    PUSH 64 PUSH0 SHA3           ; slot of balances[to]
+    DUP1 SLOAD                   ; balances[to]
+    DUP3 ADD                     ; balances[to] + amount
+    SWAP1 SSTORE
+    POP
+"""
+
+_SOURCE = f"""
+; ---- dispatcher ---------------------------------------------------------
+    PUSH0 CALLDATALOAD PUSH 224 SHR
+    DUP1 PUSH {SEL_TRANSFER} EQ PUSH @fn_transfer JUMPI
+    DUP1 PUSH {SEL_TRANSFER_FROM} EQ PUSH @fn_transferfrom JUMPI
+    DUP1 PUSH {SEL_APPROVE} EQ PUSH @fn_approve JUMPI
+    DUP1 PUSH {SEL_BALANCE_OF} EQ PUSH @fn_balanceof JUMPI
+    DUP1 PUSH {SEL_ALLOWANCE} EQ PUSH @fn_allowance JUMPI
+    DUP1 PUSH {SEL_TOTAL_SUPPLY} EQ PUSH @fn_totalsupply JUMPI
+    PUSH0 PUSH0 REVERT
+
+; ---- transfer(address to, uint256 amount) -------------------------------
+fn_transfer:
+    JUMPDEST
+    POP
+    PUSH 36 CALLDATALOAD         ; amount
+    PUSH 4 CALLDATALOAD          ; to
+    CALLER                       ; from
+{_TRANSFER_BODY}
+    ; emit Transfer(caller, to, amount)
+    PUSH 36 CALLDATALOAD PUSH0 MSTORE
+    PUSH 4 CALLDATALOAD
+    CALLER
+    PUSH {TRANSFER_TOPIC}
+    PUSH 32 PUSH0 LOG3
+    PUSH 1 PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+; ---- transferFrom(address from, address to, uint256 amount) -------------
+fn_transferfrom:
+    JUMPDEST
+    POP
+    ; allowances[from][caller] -= amount (require sufficient: paper line 15)
+    PUSH 4 CALLDATALOAD PUSH0 MSTORE
+    PUSH {ALLOWANCES_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3           ; inner = keccak(from . 2)
+    PUSH 32 MSTORE
+    CALLER PUSH0 MSTORE
+    PUSH 64 PUSH0 SHA3           ; slot of allowances[from][caller]
+    DUP1 SLOAD                   ; allowance
+    PUSH 68 CALLDATALOAD         ; amount
+    DUP1 DUP3 LT                 ; allowance < amount ?
+    PUSH @revert JUMPI
+    SWAP1 SUB                    ; allowance - amount
+    SWAP1 SSTORE
+    ; _transfer(from, to, amount)
+    PUSH 68 CALLDATALOAD
+    PUSH 36 CALLDATALOAD
+    PUSH 4 CALLDATALOAD
+{_TRANSFER_BODY}
+    ; emit Transfer(from, to, amount)
+    PUSH 68 CALLDATALOAD PUSH0 MSTORE
+    PUSH 36 CALLDATALOAD
+    PUSH 4 CALLDATALOAD
+    PUSH {TRANSFER_TOPIC}
+    PUSH 32 PUSH0 LOG3
+    PUSH 1 PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+; ---- approve(address spender, uint256 amount) ---------------------------
+fn_approve:
+    JUMPDEST
+    POP
+    CALLER PUSH0 MSTORE
+    PUSH {ALLOWANCES_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3           ; inner = keccak(caller . 2)
+    PUSH 32 MSTORE
+    PUSH 4 CALLDATALOAD PUSH0 MSTORE
+    PUSH 64 PUSH0 SHA3           ; slot of allowances[caller][spender]
+    PUSH 36 CALLDATALOAD
+    SWAP1 SSTORE
+    ; emit Approval(caller, spender, amount)
+    PUSH 36 CALLDATALOAD PUSH0 MSTORE
+    PUSH 4 CALLDATALOAD
+    CALLER
+    PUSH {APPROVAL_TOPIC}
+    PUSH 32 PUSH0 LOG3
+    PUSH 1 PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+; ---- balanceOf(address) --------------------------------------------------
+fn_balanceof:
+    JUMPDEST
+    POP
+    PUSH 4 CALLDATALOAD PUSH0 MSTORE
+    PUSH {BALANCES_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3 SLOAD
+    PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+; ---- allowance(address owner, address spender) ---------------------------
+fn_allowance:
+    JUMPDEST
+    POP
+    PUSH 4 CALLDATALOAD PUSH0 MSTORE
+    PUSH {ALLOWANCES_SLOT} PUSH 32 MSTORE
+    PUSH 64 PUSH0 SHA3
+    PUSH 32 MSTORE
+    PUSH 36 CALLDATALOAD PUSH0 MSTORE
+    PUSH 64 PUSH0 SHA3 SLOAD
+    PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+; ---- totalSupply() --------------------------------------------------------
+fn_totalsupply:
+    JUMPDEST
+    POP
+    PUSH {TOTAL_SUPPLY_SLOT} SLOAD
+    PUSH0 MSTORE
+    PUSH 32 PUSH0 RETURN
+
+revert:
+    JUMPDEST
+    PUSH0 PUSH0 REVERT
+"""
+
+ERC20 = assemble(_SOURCE)

@@ -1,0 +1,43 @@
+"""A delegate-call proxy (the EIP-1967 pattern, minimally).
+
+Most of mainnet's hottest contracts — USDC above all — are upgradeable
+proxies: a thin contract that SLOADs its implementation address and
+DELEGATECALLs into it, so the implementation's code runs against the
+proxy's storage.  Wrapping the workload ERC20 behind this proxy makes the
+synthesized traffic structurally faithful to the paper's top-ten contracts
+and exercises the SSA tracer across DELEGATECALL frames (the call target
+itself is a storage-derived value).
+
+Storage layout: the implementation address lives at a pseudo-random slot
+(like EIP-1967's keccak-derived slot) so it can never collide with the
+implementation's own variables.
+"""
+
+from __future__ import annotations
+
+from ..crypto import keccak256
+from ..evm.assembler import assemble
+
+# EIP-1967: bytes32(uint256(keccak256("eip1967.proxy.implementation")) - 1)
+IMPLEMENTATION_SLOT = (
+    int.from_bytes(keccak256(b"eip1967.proxy.implementation"), "big") - 1
+)
+
+_SOURCE = f"""
+    ; forward the entire calldata to the implementation
+    CALLDATASIZE PUSH0 PUSH0 CALLDATACOPY
+    PUSH0 PUSH0                       ; retSize retOff (copied manually below)
+    CALLDATASIZE PUSH0                ; argsSize argsOff
+    PUSH {IMPLEMENTATION_SLOT} SLOAD  ; implementation address
+    GAS
+    DELEGATECALL
+    ; bubble the implementation's return data and status
+    RETURNDATASIZE PUSH0 PUSH0 RETURNDATACOPY
+    PUSH @ok JUMPI
+    RETURNDATASIZE PUSH0 REVERT
+ok:
+    JUMPDEST
+    RETURNDATASIZE PUSH0 RETURN
+"""
+
+Proxy = assemble(_SOURCE)

@@ -1,0 +1,228 @@
+"""The ParallelEVM block executor: read / validate / redo / write (§5.1).
+
+Structure mirrors the OCC executor (ParallelEVM *is* an OCC variant) with
+two differences:
+
+- the read phase runs under :class:`SSATracer`, paying the SSA-log
+  generation overhead (§6.4) and producing the operation log;
+- a failed validation enters the **redo phase** instead of aborting: the
+  conflicting slice of the log is re-executed (Algorithm 1).  Only if a
+  constraint guard fails does the transaction fall back to a full
+  re-execution in the write phase.
+
+``preexecute=True`` models the Forerunner-style optimization of §6.3: SSA
+logs are generated from pre-executions before the block's clock starts, so
+transactions skip the read phase entirely and any stale reads are repaired
+by the redo phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..concurrency.base import (
+    BlockExecutor,
+    BlockResult,
+    commit_cost_us,
+    find_conflicts,
+    run_speculative,
+    settle_fees,
+    validation_cost_us,
+)
+from ..evm.message import BlockEnv, Transaction, TxResult
+from ..sim.machine import SimMachine, Task
+from ..sim.meter import CostMeter
+from ..state.view import BlockOverlay
+from ..state.world import WorldState
+from .redo import redo
+from .tracer import SSATracer
+
+
+class _ParallelEVMScheduler:
+    """Drives the four phases on the simulated machine."""
+
+    def __init__(
+        self,
+        executor: "ParallelEVMExecutor",
+        world: WorldState,
+        txs: list[Transaction],
+        env: BlockEnv,
+    ) -> None:
+        self.executor = executor
+        self.world = world
+        self.txs = txs
+        self.env = env
+        self.overlay = BlockOverlay()
+        self.pending: deque[int] = deque(range(len(txs)))
+        self.exec_done: dict[int, tuple[TxResult, SSATracer]] = {}
+        self.next_commit = 0
+        self.busy_at_commit_point = False
+        self.redo_request: tuple[int, dict] | None = None
+        self.results: list[TxResult | None] = [None] * len(txs)
+
+        # §6.4 statistics.
+        self.executions = 0
+        self.conflicting_txs = 0
+        self.redo_successes = 0
+        self.redo_failures = 0
+        self.full_aborts = 0
+        self.redo_entries_total = 0
+        self.redo_time_us = 0.0
+        self.log_entries_total = 0
+        self.instructions_total = 0
+
+    # ----------------------------------------------------------- execution
+
+    def _execute(self, index: int) -> Task:
+        cm = self.executor.cost_model
+        tracer = SSATracer(cost_model=cm)
+        result, meter = run_speculative(
+            self.world, self.overlay, self.txs[index], self.env, cm, tracer=tracer
+        )
+        self.executions += 1
+        self.log_entries_total += len(tracer.log)
+        self.instructions_total += result.ops_executed
+        return Task(
+            kind="execute",
+            duration_us=meter.total_us + cm.scheduler_slot_us,
+            payload=(index, result, tracer),
+        )
+
+    # ------------------------------------------------------------- machine
+
+    def next_task(self, worker_id: int, now_us: float) -> Task | None:
+        cm = self.executor.cost_model
+
+        if self.redo_request is not None and not self.busy_at_commit_point:
+            index, conflicts = self.redo_request
+            self.redo_request = None
+            result, tracer = self.exec_done[index]
+            redo_meter = CostMeter()
+            outcome = redo(tracer.log, conflicts, meter=redo_meter, cost_model=cm)
+            duration = redo_meter.total_us
+            if outcome.success:
+                duration += commit_cost_us(result, cm)
+            self.redo_entries_total += outcome.reexecuted
+            self.redo_time_us += redo_meter.total_us
+            self.busy_at_commit_point = True
+            return Task(
+                kind="redo",
+                duration_us=duration + cm.scheduler_slot_us,
+                payload=(index, conflicts, outcome),
+            )
+
+        if (
+            not self.busy_at_commit_point
+            and self.redo_request is None
+            and self.next_commit < len(self.txs)
+            and self.next_commit in self.exec_done
+        ):
+            index = self.next_commit
+            result, _tracer = self.exec_done[index]
+            conflicts = find_conflicts(result.read_set, self.world, self.overlay)
+            duration = validation_cost_us(result, cm)
+            if not conflicts:
+                duration += commit_cost_us(result, cm)
+            self.busy_at_commit_point = True
+            return Task(
+                kind="validate",
+                duration_us=duration + cm.scheduler_slot_us,
+                payload=(index, conflicts),
+            )
+
+        if self.pending:
+            return self._execute(self.pending.popleft())
+        return None
+
+    def on_complete(self, task: Task, now_us: float) -> None:
+        if task.kind == "execute":
+            index, result, tracer = task.payload
+            self.exec_done[index] = (result, tracer)
+            return
+
+        if task.kind == "validate":
+            self.busy_at_commit_point = False
+            index, conflicts = task.payload
+            if conflicts:
+                self.conflicting_txs += 1
+                self.redo_request = (index, conflicts)
+                return
+            self._commit(index)
+            return
+
+        # redo
+        self.busy_at_commit_point = False
+        index, conflicts, outcome = task.payload
+        result, _tracer = self.exec_done[index]
+        if outcome.success:
+            self.redo_successes += 1
+            result.write_set.update(outcome.updated_writes)
+            result.read_set.update(conflicts)
+            self._commit(index)
+            return
+        # Constraint guard violated: abort, full re-execution (write phase).
+        self.redo_failures += 1
+        self.full_aborts += 1
+        del self.exec_done[index]
+        self.pending.appendleft(index)
+
+    def _commit(self, index: int) -> None:
+        result, _tracer = self.exec_done.pop(index)
+        self.overlay.apply(result.write_set)
+        self.results[index] = result
+        self.next_commit += 1
+
+    def done(self) -> bool:
+        return self.next_commit == len(self.txs)
+
+
+class ParallelEVMExecutor(BlockExecutor):
+    """Operation-level concurrent transaction execution (the paper's system)."""
+
+    name = "parallelevm"
+
+    def __init__(self, threads: int = 16, cost_model=None, preexecute: bool = False):
+        from ..sim.cost import DEFAULT_COST_MODEL
+
+        super().__init__(threads, cost_model or DEFAULT_COST_MODEL)
+        self.preexecute = preexecute
+
+    def execute_block(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
+        scheduler = _ParallelEVMScheduler(self, world, txs, env)
+
+        if self.preexecute:
+            # §6.3 pre-execution: SSA logs are generated in the dissemination
+            # window, before block processing starts; the read phase is off
+            # the critical path.  Stale reads surface as validation
+            # conflicts, repaired by the redo phase.
+            for index in range(len(txs)):
+                task = scheduler._execute(index)
+                _, result, tracer = task.payload
+                scheduler.exec_done[index] = (result, tracer)
+            scheduler.pending.clear()
+
+        makespan = SimMachine(self.threads).run(scheduler)
+        results = [r for r in scheduler.results if r is not None]
+        settle_fees(scheduler.overlay, world, results, env)
+
+        redo_attempts = scheduler.redo_successes + scheduler.redo_failures
+        return BlockResult(
+            writes=dict(scheduler.overlay.items()),
+            makespan_us=makespan,
+            tx_results=results,
+            threads=self.threads,
+            stats={
+                "executions": scheduler.executions,
+                "conflicting_txs": scheduler.conflicting_txs,
+                "redo_attempts": redo_attempts,
+                "redo_successes": scheduler.redo_successes,
+                "redo_failures": scheduler.redo_failures,
+                "full_aborts": scheduler.full_aborts,
+                "redo_entries_total": scheduler.redo_entries_total,
+                "redo_time_us": scheduler.redo_time_us,
+                "log_entries_total": scheduler.log_entries_total,
+                "instructions_total": scheduler.instructions_total,
+            },
+        )

@@ -1,0 +1,135 @@
+"""Shadow stack and shadow memory (§5.2.1, §5.2.3).
+
+One :class:`FrameShadow` mirrors each interpreter call frame:
+
+- ``stack`` parallels the EVM stack; each cell is the LSN of the log entry
+  whose result produced that stack item, or None for constants (immediates,
+  transaction-constant environment values, results folded as constant).
+- ``memory`` maps byte offset -> ``(lsn, offset_in_result)`` for bytes whose
+  content derives from a log entry; absent offsets hold constant bytes.
+  This is Figure 8b's per-byte ``<LSN, offset>`` marking, stored sparsely.
+- ``calldata`` carries the same marking for the frame's call data (captured
+  from the caller's memory at CALL time), and ``returndata`` for the last
+  completed sub-call's return buffer — these let data dependencies flow
+  across frame boundaries, which the paper's single-frame presentation
+  leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Cell = tuple[int, int]  # (lsn, byte offset within that entry's result)
+
+
+@dataclass(slots=True)
+class FrameShadow:
+    """Shadow state for one call frame."""
+
+    stack: list[int | None] = field(default_factory=list)
+    memory: dict[int, Cell] = field(default_factory=dict)
+    calldata: dict[int, Cell] = field(default_factory=dict)
+    returndata: dict[int, Cell] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- stack
+
+    def push(self, lsn: int | None) -> None:
+        self.stack.append(lsn)
+
+    def pop(self) -> int | None:
+        return self.stack.pop()
+
+    def pop_n(self, n: int) -> tuple[int | None, ...]:
+        """Pop ``n`` shadow cells; result[0] corresponds to the stack top."""
+        if n == 0:
+            return ()
+        popped = tuple(self.stack[-1 : -n - 1 : -1])
+        del self.stack[-n:]
+        return popped
+
+    def dup(self, n: int) -> None:
+        self.stack.append(self.stack[-n])
+
+    def swap(self, n: int) -> None:
+        self.stack[-1], self.stack[-1 - n] = self.stack[-1 - n], self.stack[-1]
+
+    # --------------------------------------------------------------- memory
+
+    def mark_memory(self, offset: int, length: int, lsn: int | None) -> None:
+        """Mark bytes written by a store whose value is entry ``lsn``.
+
+        The value of an MSTORE is a 32-byte word; byte i of the region is
+        byte i of the defining entry's result.  ``lsn`` None means constant
+        bytes: clear the marking.
+        """
+        if lsn is None:
+            for i in range(length):
+                self.memory.pop(offset + i, None)
+        else:
+            base = 32 - length  # an MSTORE8 stores the value's lowest byte
+            for i in range(length):
+                self.memory[offset + i] = (lsn, base + i)
+
+    def copy_into_memory(
+        self, dest: int, size: int, source: dict[int, Cell], src_offset: int
+    ) -> None:
+        """Propagate shadow cells from a calldata/returndata buffer."""
+        for i in range(size):
+            cell = source.get(src_offset + i)
+            if cell is None:
+                self.memory.pop(dest + i, None)
+            else:
+                self.memory[dest + i] = cell
+
+    def memory_deps(self, offset: int, size: int) -> tuple[tuple[int, int, int, int], ...]:
+        """Collapse per-byte cells over [offset, offset+size) into MemDeps.
+
+        Contiguous runs referencing consecutive bytes of the same entry fold
+        into single ``(start, length, lsn, result_offset)`` tuples, exactly
+        the def.memory encoding of Figure 8c (``start`` is relative to the
+        read buffer).
+        """
+        deps: list[tuple[int, int, int, int]] = []
+        run_start = -1
+        run_lsn = -1
+        run_off = -1
+        run_len = 0
+        for i in range(size):
+            cell = self.memory.get(offset + i)
+            if (
+                cell is not None
+                and run_len
+                and cell[0] == run_lsn
+                and cell[1] == run_off + run_len
+            ):
+                run_len += 1
+                continue
+            if run_len:
+                deps.append((run_start, run_len, run_lsn, run_off))
+                run_len = 0
+            if cell is not None:
+                run_start, run_lsn, run_off = i, cell[0], cell[1]
+                run_len = 1
+        if run_len:
+            deps.append((run_start, run_len, run_lsn, run_off))
+        return tuple(deps)
+
+    def buffer_deps(
+        self, source: dict[int, Cell], offset: int, size: int
+    ) -> tuple[tuple[int, int, int, int], ...]:
+        """Like :meth:`memory_deps` but over a calldata/returndata buffer."""
+        saved = self.memory
+        try:
+            self.memory = source
+            return self.memory_deps(offset, size)
+        finally:
+            self.memory = saved
+
+    def capture_region(self, offset: int, size: int) -> dict[int, Cell]:
+        """Re-based copy of memory cells in [offset, offset+size)."""
+        out: dict[int, Cell] = {}
+        for i in range(size):
+            cell = self.memory.get(offset + i)
+            if cell is not None:
+                out[i] = cell
+        return out

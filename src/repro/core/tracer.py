@@ -1,0 +1,447 @@
+"""Dynamic SSA operation log generation during the read phase (§5.2).
+
+``SSATracer`` implements the :mod:`repro.evm.tracing` hook interface.  It
+maintains one :class:`FrameShadow` per call frame in lockstep with the
+interpreter and appends :class:`LogEntry` records for exactly the operations
+whose inputs depend (transitively) on storage — everything else is folded
+into constants, which is how the paper's log ends up a small fraction of the
+executed instruction count (§6.4).
+
+Constraint guards (§5.2.4):
+
+- *control-flow*: an ``ASSERT_EQ`` on every non-constant JUMP target and
+  JUMPI target/condition, so redo provably replays the original path;
+- *data-flow*: an ``ASSERT_EQ`` on every non-constant runtime-context
+  address operand (memory offsets/sizes, storage slots, call targets), so
+  the recorded dependency structure remains valid under redo;
+- *gas-flow*: dynamic-cost entries (value-dependent SSTORE, EXP) are marked
+  ``gas_dynamic`` and their cost re-derived and compared during redo.
+
+Design deviation from the paper, documented in DESIGN.md: MSTORE/MSTORE8 do
+not create log entries; shadow memory cells point directly at the entry that
+defined the *stored value*.  The def-use relation this produces is identical
+(memory reads resolve to the same defining operations) with a smaller log.
+"""
+
+from __future__ import annotations
+
+from ..evm import gas as G
+from ..evm.opcodes import Op
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..state.keys import StateKey
+from .shadow import FrameShadow
+from .ssa_log import LogEntry, PseudoOp, SSAOperationLog
+
+
+class SSATracer:
+    """Builds the SSA operation log for one transaction execution."""
+
+    def __init__(
+        self,
+        meter=None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.log = SSAOperationLog()
+        self.meter = meter
+        self.cm = cost_model
+        self.frames: list[FrameShadow] = []
+        self._pending_calldata: dict[int, tuple[int, int]] | None = None
+        self._pending_returndata: dict[int, tuple[int, int]] = {}
+        # Events seen (≈ opcodes traced) — the §6.4 tracking-overhead stat.
+        self.events = 0
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def _top(self) -> FrameShadow:
+        return self.frames[-1]
+
+    def _charge_event(self) -> None:
+        self.events += 1
+        if self.meter is not None:
+            self.meter.charge_tracking(self.cm.shadow_event_us)
+
+    def _append(self, entry: LogEntry) -> int:
+        if self.meter is not None:
+            self.meter.charge_tracking(self.cm.log_entry_us, entries=1)
+        return self.log.append(entry)
+
+    def _new_entry(self, opcode: int, **kwargs) -> LogEntry:
+        return LogEntry(lsn=self.log.next_lsn(), opcode=opcode, **kwargs)
+
+    def _guard_eq(self, value: int, def_lsn: int) -> None:
+        """Emit an ASSERT_EQ constraint guard on a non-constant operand."""
+        self._append(
+            self._new_entry(
+                PseudoOp.ASSERT_EQ,
+                operands=(value,),
+                def_stack=(def_lsn,),
+                result=None,
+            )
+        )
+
+    def _guard_operands(
+        self, values: tuple[int, ...], shadows: tuple[int | None, ...]
+    ) -> None:
+        """ASSERT_EQ every non-constant operand in a (values, shadows) pair."""
+        for value, shadow in zip(values, shadows):
+            if shadow is not None:
+                self._guard_eq(value, shadow)
+
+    # ------------------------------------------------------ frame lifecycle
+
+    def begin_frame(self, frame) -> None:
+        shadow = FrameShadow()
+        if self._pending_calldata is not None:
+            shadow.calldata = self._pending_calldata
+            self._pending_calldata = None
+        self.frames.append(shadow)
+
+    def end_frame(self, frame, success: bool) -> None:
+        self.frames.pop()
+        if not success:
+            # A reverted frame leaves log entries whose effects were rolled
+            # back; the redo phase cannot reason about those, so the whole
+            # transaction falls back to re-execution on conflict.
+            self.log.redoable = False
+            self._pending_returndata = {}
+        if self.frames:
+            self.frames[-1].returndata = self._pending_returndata
+        self._pending_returndata = {}
+
+    # -------------------------------------------------------- stack traffic
+
+    def trace_push(self, frame, value: int) -> None:
+        self._charge_event()
+        self._top.push(None)
+
+    def trace_pop(self, frame) -> None:
+        self._charge_event()
+        self._top.pop()
+
+    def trace_dup(self, frame, n: int) -> None:
+        self._charge_event()
+        self._top.dup(n)
+
+    def trace_swap(self, frame, n: int) -> None:
+        self._charge_event()
+        self._top.swap(n)
+
+    def trace_tx_const(self, frame, opcode: int, value: int) -> None:
+        self._charge_event()
+        self._top.push(None)
+
+    # ---------------------------------------------------------- computation
+
+    def trace_alu(
+        self,
+        frame,
+        opcode: int,
+        operands: tuple[int, ...],
+        result: int,
+        gas_cost: int,
+        dynamic_gas: bool,
+    ) -> None:
+        self._charge_event()
+        shadows = self._top.pop_n(len(operands))
+        if all(s is None for s in shadows):
+            # Constant inputs -> constant result: fold, no entry (§5.2.1).
+            self._top.push(None)
+            return
+        lsn = self._append(
+            self._new_entry(
+                opcode,
+                operands=operands,
+                def_stack=shadows,
+                result=result,
+                gas_cost=gas_cost,
+                gas_dynamic=dynamic_gas,
+            )
+        )
+        self._top.push(lsn)
+
+    def trace_sha3(
+        self, frame, offset: int, size: int, data: bytes, result: int
+    ) -> None:
+        self._charge_event()
+        shadows = self._top.pop_n(2)  # (offset, size)
+        self._guard_operands((offset, size), shadows)
+        deps = self._top.memory_deps(offset, size)
+        if not deps:
+            self._top.push(None)
+            return
+        lsn = self._append(
+            self._new_entry(
+                Op.SHA3,
+                operands=(data,),
+                def_memory=deps,
+                result=result,
+                gas_cost=G.sha3_gas(size),
+            )
+        )
+        self._top.push(lsn)
+
+    # -------------------------------------------------------------- storage
+
+    def trace_sload(
+        self, frame, key: StateKey, value: int, gas_cost: int, operand_count: int
+    ) -> None:
+        self._charge_event()
+        if operand_count:
+            shadows = self._top.pop_n(operand_count)
+            # The slot/address operand is a runtime-context address: guard it
+            # if non-constant (data-flow constraint).
+            operand_value = key[2] if len(key) > 2 else int.from_bytes(key[1], "big")
+            self._guard_operands((operand_value,), shadows)
+        entry = self._new_entry(
+            Op.SLOAD,
+            key=key,
+            result=value,
+            def_storage=self.log.latest_writes.get(key),
+            gas_cost=gas_cost,
+        )
+        lsn = self._append(entry)
+        self.log.record_load(entry)
+        self._top.push(lsn)
+
+    def trace_sstore(
+        self,
+        frame,
+        key: StateKey,
+        value: int,
+        gas_cost: int,
+        current: int = 0,
+        cold: bool = False,
+    ) -> None:
+        self._charge_event()
+        slot_shadow, value_shadow = self._top.pop_n(2)
+        if slot_shadow is not None:
+            self._guard_eq(key[2], slot_shadow)
+        entry = self._new_entry(
+            Op.SSTORE,
+            key=key,
+            operands=(value,),
+            def_stack=(value_shadow,),
+            result=value,
+            gas_cost=gas_cost,
+            gas_dynamic=True,
+            meta={"current": current, "cold": cold},
+        )
+        self._append(entry)
+        self.log.record_store(entry)
+
+    # --------------------------------------------------------------- memory
+
+    def trace_mload(self, frame, offset: int, value: int) -> None:
+        self._charge_event()
+        (offset_shadow,) = self._top.pop_n(1)
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        deps = self._top.memory_deps(offset, 32)
+        if not deps:
+            self._top.push(None)
+            return
+        lsn = self._append(
+            self._new_entry(
+                Op.MLOAD,
+                operands=(value.to_bytes(32, "big"),),
+                def_memory=deps,
+                result=value,
+                gas_cost=G.GAS_FASTEST,
+            )
+        )
+        self._top.push(lsn)
+
+    def trace_mstore(self, frame, offset: int, value: int) -> None:
+        self._charge_event()
+        offset_shadow, value_shadow = self._top.pop_n(2)
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        self._top.mark_memory(offset, 32, value_shadow)
+
+    def trace_mstore8(self, frame, offset: int, value: int) -> None:
+        self._charge_event()
+        offset_shadow, value_shadow = self._top.pop_n(2)
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        self._top.mark_memory(offset, 1, value_shadow)
+
+    def trace_calldataload(self, frame, offset: int, value: int) -> None:
+        self._charge_event()
+        (offset_shadow,) = self._top.pop_n(1)
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        deps = self._top.buffer_deps(self._top.calldata, offset, 32)
+        if not deps:
+            self._top.push(None)
+            return
+        lsn = self._append(
+            self._new_entry(
+                Op.CALLDATALOAD,
+                operands=(value.to_bytes(32, "big"),),
+                def_memory=deps,
+                result=value,
+                gas_cost=G.GAS_FASTEST,
+            )
+        )
+        self._top.push(lsn)
+
+    def trace_copy(
+        self,
+        frame,
+        opcode: int,
+        dest_offset: int,
+        src_offset: int,
+        size: int,
+        operand_count: int,
+    ) -> None:
+        self._charge_event()
+        shadows = self._top.pop_n(operand_count)
+        self._guard_operands((dest_offset, src_offset, size), shadows)
+        top = self._top
+        if opcode == Op.CALLDATACOPY:
+            top.copy_into_memory(dest_offset, size, top.calldata, src_offset)
+        elif opcode == Op.RETURNDATACOPY:
+            top.copy_into_memory(dest_offset, size, top.returndata, src_offset)
+        else:  # CODECOPY: code is immutable, hence constant bytes
+            top.mark_memory(dest_offset, size, None)
+
+    # --------------------------------------------------------- control flow
+
+    def trace_jump(self, frame, dest: int) -> None:
+        self._charge_event()
+        (dest_shadow,) = self._top.pop_n(1)
+        if dest_shadow is not None:
+            self._guard_eq(dest, dest_shadow)
+
+    def trace_jumpi(self, frame, dest: int, cond: int, taken: bool) -> None:
+        self._charge_event()
+        dest_shadow, cond_shadow = self._top.pop_n(2)
+        if dest_shadow is not None:
+            self._guard_eq(dest, dest_shadow)
+        if cond_shadow is not None:
+            self._guard_eq(cond, cond_shadow)
+
+    # ------------------------------------------------------- calls and halts
+
+    def trace_call_start(
+        self,
+        frame,
+        opcode: int,
+        operands: tuple[int, ...],
+        args_offset: int,
+        args_size: int,
+    ) -> None:
+        self._charge_event()
+        shadows = self._top.pop_n(len(operands))
+        # Operand order: gas, to, [value,] args_offset, args_size,
+        # ret_offset, ret_size.  Every non-constant one is a runtime-context
+        # dependency of the call (the target address and value most
+        # prominently): guard them all (data-flow constraints).
+        self._guard_operands(operands, shadows)
+        self._pending_calldata = self._top.capture_region(args_offset, args_size)
+
+    def trace_call_end(
+        self, frame, success: bool, ret_offset: int, ret_copy_size: int
+    ) -> None:
+        self._charge_event()
+        top = self._top
+        top.copy_into_memory(ret_offset, ret_copy_size, top.returndata, 0)
+        top.push(None)  # the success flag is constant under the guards
+
+    def trace_log(
+        self, frame, record, topic_count: int, offset: int, size: int
+    ) -> None:
+        self._charge_event()
+        shadows = self._top.pop_n(2 + topic_count)
+        offset_shadow, size_shadow = shadows[0], shadows[1]
+        topic_shadows = shadows[2:]
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        if size_shadow is not None:
+            self._guard_eq(size, size_shadow)
+        data_deps = self._top.memory_deps(offset, size)
+        if all(s is None for s in topic_shadows) and not data_deps:
+            return
+        entry = self._new_entry(
+            PseudoOp.LOGDATA,
+            operands=(record.topics, record.data),
+            def_stack=topic_shadows,
+            def_memory=data_deps,
+            result=None,
+            meta={"record": record},
+        )
+        self._append(entry)
+
+    def trace_halt(self, frame, opcode: int, offset: int, size: int) -> None:
+        self._charge_event()
+        if opcode == Op.STOP:
+            self._pending_returndata = {}
+            return
+        offset_shadow, size_shadow = self._top.pop_n(2)
+        if offset_shadow is not None:
+            self._guard_eq(offset, offset_shadow)
+        if size_shadow is not None:
+            self._guard_eq(size, size_shadow)
+        self._pending_returndata = self._top.capture_region(offset, size)
+
+    # ----------------------------------------------------- intrinsic traffic
+
+    def trace_intrinsic_rmw(
+        self,
+        key: StateKey,
+        observed: int,
+        delta: int,
+        minimum: int | None,
+    ) -> None:
+        """Log the envelope's read-modify-writes (§5.1's transfer example).
+
+        Emits: an ILOAD of ``key``; a GUARD_GE if a solvency minimum applies;
+        and, when ``delta`` is non-zero, an IADD and ISTORE completing the
+        read-modify-write chain.  Conflicts on hot account balances then
+        redo exactly like conflicts on hot storage slots.
+        """
+        load = self._new_entry(
+            PseudoOp.ILOAD,
+            key=key,
+            result=observed,
+            def_storage=self.log.latest_writes.get(key),
+        )
+        load_lsn = self._append(load)
+        self.log.record_load(load)
+
+        if minimum is not None:
+            self._append(
+                self._new_entry(
+                    PseudoOp.GUARD_GE,
+                    operands=(observed, minimum),
+                    def_stack=(load_lsn,),
+                    result=None,
+                )
+            )
+
+        if delta == 0:
+            return
+
+        add = self._new_entry(
+            PseudoOp.IADD,
+            operands=(observed, delta),
+            def_stack=(load_lsn, None),
+            result=observed + delta,
+        )
+        add_lsn = self._append(add)
+
+        store = self._new_entry(
+            PseudoOp.ISTORE,
+            key=key,
+            operands=(observed + delta,),
+            def_stack=(add_lsn,),
+            result=observed + delta,
+        )
+        self._append(store)
+        self.log.record_store(store)
+
+    def trace_intrinsic_read(self, key: StateKey, observed: int) -> None:
+        entry = self._new_entry(PseudoOp.ILOAD, key=key, result=observed)
+        self._append(entry)
+        self.log.record_load(entry)

@@ -1,0 +1,136 @@
+"""Pure-Python Keccak-256, the hash used throughout Ethereum.
+
+``hashlib`` ships NIST SHA3-256, which differs from Ethereum's Keccak-256 only
+in the padding byte (0x06 vs 0x01) — but that difference changes every digest,
+so we implement the original Keccak sponge here.  Performance is adequate for
+this reproduction (hashing is used for storage-slot derivation, the Merkle
+Patricia trie and the assembler's function selectors, all of which are cached
+where hot).
+"""
+
+from __future__ import annotations
+
+_ROUNDS = 24
+_LANE_MASK = (1 << 64) - 1
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets for the rho step, indexed [x][y].
+_ROTATIONS = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+
+def _rotl(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (64 - shift))) & _LANE_MASK
+
+
+def _keccak_f(state: list[int]) -> None:
+    """The keccak-f[1600] permutation, applied to 25 lanes in place.
+
+    ``state[x + 5 * y]`` holds the lane at column x, row y.
+    """
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        c = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                state[x + 5 * y] ^= d[x]
+
+        # rho + pi
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl(
+                    state[x + 5 * y], _ROTATIONS[x][y]
+                )
+
+        # chi
+        for x in range(5):
+            for y in range(5):
+                state[x + 5 * y] = b[x + 5 * y] ^ (
+                    (~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]
+                )
+
+        # iota
+        state[0] ^= round_constant
+
+
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256.
+
+
+def keccak256(data: bytes) -> bytes:
+    """Compute the Ethereum Keccak-256 digest of ``data``."""
+    state = [0] * 25
+
+    # Absorb full rate-sized blocks, then the padded final block.
+    padded = bytearray(data)
+    pad_len = _RATE_BYTES - (len(padded) % _RATE_BYTES)
+    padded += b"\x01" + b"\x00" * (pad_len - 2) + b"\x80" if pad_len >= 2 else b"\x81"
+
+    for block_start in range(0, len(padded), _RATE_BYTES):
+        block = padded[block_start : block_start + _RATE_BYTES]
+        for lane_index in range(_RATE_BYTES // 8):
+            lane = int.from_bytes(
+                block[lane_index * 8 : lane_index * 8 + 8], "little"
+            )
+            state[lane_index] ^= lane
+        _keccak_f(state)
+
+    # Squeeze 32 bytes (fits within one rate block).
+    digest = bytearray()
+    for lane_index in range(4):
+        digest += state[lane_index].to_bytes(8, "little")
+    return bytes(digest)
+
+
+_word_cache: dict[bytes, bytes] = {}
+_WORD_CACHE_LIMIT = 65536
+
+
+def keccak256_cached(data: bytes) -> bytes:
+    """Keccak-256 with memoisation for short, frequently rehashed inputs.
+
+    The Merkle Patricia trie rehashes identical small nodes constantly while
+    recomputing roots block after block; caching those digests is a large
+    constant-factor win without changing semantics.
+    """
+    if len(data) > 128:
+        return keccak256(data)
+    cached = _word_cache.get(data)
+    if cached is None:
+        if len(_word_cache) >= _WORD_CACHE_LIMIT:
+            _word_cache.clear()
+        cached = keccak256(data)
+        _word_cache[data] = cached
+    return cached
+
+
+def storage_slot_for_mapping(key: bytes, slot_index: int) -> int:
+    """Derive the storage slot of ``mapping[key]`` following Solidity layout.
+
+    Solidity stores ``mapping(K => V)`` declared at slot ``p`` with entries at
+    ``keccak256(pad32(key) ++ pad32(p))``.  The workload contracts in this
+    repo use the same convention so generated transactions touch realistic,
+    collision-free slots.
+    """
+    padded_key = key.rjust(32, b"\x00")
+    padded_slot = slot_index.to_bytes(32, "big")
+    return int.from_bytes(keccak256_cached(padded_key + padded_slot), "big")

@@ -1,0 +1,63 @@
+"""A small LRU cache used as the simulated LevelDB block cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used cache with a fixed entry capacity.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses), which
+    models the pathological cold-state case used by some overhead tests.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        if self.capacity <= 0:
+            self.misses += 1
+            return default
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

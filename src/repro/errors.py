@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors (``TypeError``,
+``KeyError`` and friends are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EVMError(ReproError):
+    """Base class for errors raised while executing EVM bytecode.
+
+    EVM errors terminate the current call frame and consume all remaining gas
+    of that frame, mirroring the exceptional-halt semantics of the yellow
+    paper.
+    """
+
+
+class StackUnderflow(EVMError):
+    """An operation required more stack items than were available."""
+
+
+class StackOverflow(EVMError):
+    """The stack grew beyond the 1024-item EVM limit."""
+
+
+class OutOfGas(EVMError):
+    """The frame's gas allowance was exhausted."""
+
+
+class InvalidJump(EVMError):
+    """A JUMP/JUMPI targeted a byte that is not a JUMPDEST."""
+
+
+class InvalidOpcode(EVMError):
+    """The interpreter met an undefined opcode byte."""
+
+
+class WriteProtection(EVMError):
+    """A state-modifying opcode ran inside a static call context."""
+
+
+class Revert(EVMError):
+    """The REVERT opcode was executed.
+
+    Unlike other EVM errors, REVERT refunds the remaining gas of the frame
+    and propagates return data to the caller.
+    """
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__("execution reverted")
+        self.data = data
+
+
+class TrieError(ReproError):
+    """Corrupt or inconsistent Merkle Patricia trie structure."""
+
+
+class RLPError(ReproError):
+    """Malformed RLP input."""
+
+
+class AssemblerError(ReproError):
+    """Invalid assembly source handed to the EVM assembler."""
+
+
+class ConcurrencyError(ReproError):
+    """A concurrency-control executor reached an inconsistent internal state."""
+
+
+class RedoAbort(ReproError):
+    """The redo phase failed (a constraint guard was violated).
+
+    The transaction must fall back to a full serial re-execution in the write
+    phase, exactly as in Algorithm 1 of the paper.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event machine was driven with inconsistent events."""

@@ -1,0 +1,866 @@
+"""The EVM interpreter and the transaction execution envelope.
+
+Execution model
+---------------
+``EVM.call`` runs one message-call frame against a :class:`StateView`
+(transaction-local overlay).  ``execute_transaction`` wraps a frame in the
+transaction envelope: intrinsic gas, nonce bump, value transfer, fee charge —
+each of which is reported to the tracer as *intrinsic* read-modify-write
+operations so they participate in the SSA operation log (hot account
+balances conflict exactly like hot storage slots).
+
+The block reward is intentionally **not** paid per transaction: crediting
+the coinbase inside every transaction would serialise all of them on one
+balance key.  Like the paper's geth baseline (and Block-STM deployments),
+fees are accumulated and credited once per block by the executor
+(see repro.concurrency.base.settle_fees).
+
+Tracer hooks fire after each successful operation with concrete values;
+see repro.evm.tracing for the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import primitives as prim
+from ..crypto import keccak256
+from ..errors import (
+    EVMError,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    WriteProtection,
+)
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..sim.meter import CostMeter
+from ..state.keys import balance_key, code_key, nonce_key, storage_key
+from ..state.view import StateView
+from . import gas as G
+from .memory import Memory
+from .message import BlockEnv, CallMessage, LogRecord, Transaction, TxResult
+from .opcodes import (
+    ALU_OPS,
+    TX_CONST_OPS,
+    Op,
+    is_dup,
+    is_log,
+    is_push,
+    is_swap,
+    opcode_name,
+    push_width,
+)
+from .stack import Stack
+
+CALL_DEPTH_LIMIT = 1024
+
+
+@dataclass(slots=True)
+class Frame:
+    """One message-call frame: code, pc, stack, memory, gas."""
+
+    msg: CallMessage
+    code: bytes
+    stack: Stack = field(default_factory=Stack)
+    memory: Memory = field(default_factory=Memory)
+    pc: int = 0
+    gas: int = 0
+    return_data: bytes = b""  # returndata of the *last completed* sub-call
+    jumpdests: frozenset[int] = frozenset()
+
+    def charge(self, amount: int) -> None:
+        if amount > self.gas:
+            self.gas = 0
+            raise OutOfGas(f"need {amount} gas at pc={self.pc}")
+        self.gas -= amount
+
+
+def valid_jumpdests(code: bytes) -> frozenset[int]:
+    """Positions of JUMPDEST bytes that are not PUSH immediates."""
+    dests = set()
+    pc = 0
+    length = len(code)
+    while pc < length:
+        op = code[pc]
+        if op == Op.JUMPDEST:
+            dests.add(pc)
+            pc += 1
+        elif is_push(op):
+            pc += 1 + push_width(op)
+        else:
+            pc += 1
+    return frozenset(dests)
+
+
+# Pure ALU semantics, keyed by opcode, applied to operands in pop order.
+ALU_FUNCS = {
+    Op.ADD: lambda a, b: prim.add(a, b),
+    Op.MUL: lambda a, b: prim.mul(a, b),
+    Op.SUB: lambda a, b: prim.sub(a, b),
+    Op.DIV: lambda a, b: prim.div(a, b),
+    Op.SDIV: lambda a, b: prim.sdiv(a, b),
+    Op.MOD: lambda a, b: prim.mod(a, b),
+    Op.SMOD: lambda a, b: prim.smod(a, b),
+    Op.ADDMOD: lambda a, b, n: prim.addmod(a, b, n),
+    Op.MULMOD: lambda a, b, n: prim.mulmod(a, b, n),
+    Op.SIGNEXTEND: lambda i, v: prim.signextend(i, v),
+    Op.LT: lambda a, b: prim.lt(a, b),
+    Op.GT: lambda a, b: prim.gt(a, b),
+    Op.SLT: lambda a, b: prim.slt(a, b),
+    Op.SGT: lambda a, b: prim.sgt(a, b),
+    Op.EQ: lambda a, b: prim.eq(a, b),
+    Op.ISZERO: lambda a: prim.iszero(a),
+    Op.AND: lambda a, b: prim.and_(a, b),
+    Op.OR: lambda a, b: prim.or_(a, b),
+    Op.XOR: lambda a, b: prim.xor(a, b),
+    Op.NOT: lambda a: prim.not_(a),
+    Op.BYTE: lambda i, v: prim.byte(i, v),
+    Op.SHL: lambda s, v: prim.shl(s, v),
+    Op.SHR: lambda s, v: prim.shr(s, v),
+    Op.SAR: lambda s, v: prim.sar(s, v),
+    Op.EXP: lambda b, e: prim.exp(b, e),
+}
+
+
+class _Halt(Exception):
+    """Internal control flow: a frame returned or stopped normally."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+class EVM:
+    """An interpreter bound to one state view, block env, tracer and meter."""
+
+    def __init__(
+        self,
+        view: StateView,
+        env: BlockEnv,
+        tx: Transaction,
+        tracer=None,
+        meter: CostMeter | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.view = view
+        self.env = env
+        self.tx = tx
+        self.tracer = tracer
+        self.meter = meter
+        self.cm = cost_model
+        self.logs: list[LogRecord] = []
+        self.ops_executed = 0
+
+    # ----------------------------------------------------------- call API
+
+    def call(
+        self, msg: CallMessage, code_address: bytes | None = None
+    ) -> tuple[bool, bytes, int]:
+        """Execute a message call; returns (success, return_data, gas_left).
+
+        ``code_address`` overrides where the executed bytecode comes from
+        (DELEGATECALL runs foreign code in the current storage context).
+        On failure the view is reverted to its state at call entry; on REVERT
+        remaining gas is preserved, on other EVM errors it is consumed.
+        """
+        code = self.view.read(code_key(code_address or msg.to))
+        frame = Frame(
+            msg=msg, code=code, gas=msg.gas, jumpdests=valid_jumpdests(code)
+        )
+        mark = self.view.snapshot()
+        if self.tracer is not None:
+            self.tracer.begin_frame(frame)
+        try:
+            data = self._run(frame)
+        except Revert as exc:
+            self.view.revert_to(mark)
+            if self.tracer is not None:
+                self.tracer.end_frame(frame, success=False)
+            return False, exc.data, frame.gas
+        except EVMError:
+            self.view.revert_to(mark)
+            if self.tracer is not None:
+                self.tracer.end_frame(frame, success=False)
+            return False, b"", 0
+        if self.tracer is not None:
+            self.tracer.end_frame(frame, success=True)
+        return True, data, frame.gas
+
+    # ------------------------------------------------------------ run loop
+
+    def _run(self, frame: Frame) -> bytes:
+        code = frame.code
+        length = len(code)
+        meter = self.meter
+        dispatch_us = self.cm.op_dispatch_us
+        try:
+            while True:
+                pc = frame.pc
+                op = code[pc] if pc < length else Op.STOP
+                self.ops_executed += 1
+                if meter is not None:
+                    meter.charge_compute(dispatch_us)
+                handler = _DISPATCH.get(op)
+                if handler is not None:
+                    handler(self, frame, op)
+                elif is_push(op):
+                    self._op_push(frame, op)
+                elif is_dup(op):
+                    self._op_dup(frame, op)
+                elif is_swap(op):
+                    self._op_swap(frame, op)
+                elif is_log(op):
+                    self._op_log(frame, op)
+                else:
+                    raise InvalidOpcode(
+                        f"undefined opcode {opcode_name(op)} at pc={pc}"
+                    )
+        except _Halt as halt:
+            return halt.data
+
+    # ----------------------------------------------------- memory helpers
+
+    def _expand(self, frame: Frame, offset: int, size: int) -> None:
+        """Expand frame memory and charge the quadratic expansion gas."""
+        if size == 0:
+            return
+        new_words = frame.memory.expand_to(offset, size)
+        if new_words:
+            frame.charge(
+                G.memory_expansion_gas(new_words, frame.memory.size_words)
+            )
+
+    # ------------------------------------------------------ opcode bodies
+
+    def _op_stop(self, frame: Frame, op: int) -> None:
+        if self.tracer is not None:
+            self.tracer.trace_halt(frame, op, 0, 0)
+        raise _Halt(b"")
+
+    def _op_alu(self, frame: Frame, op: int) -> None:
+        pops, static_gas = ALU_OPS[op]
+        operands = frame.stack.pop_n(pops)
+        dynamic = False
+        if op == Op.EXP:
+            gas_cost = G.exp_gas(operands[1])
+            dynamic = True
+            if self.meter is not None:
+                exponent_bytes = (operands[1].bit_length() + 7) // 8
+                self.meter.charge_compute(self.cm.exp_byte_us * exponent_bytes, 0)
+        else:
+            gas_cost = static_gas
+        frame.charge(gas_cost)
+        result = ALU_FUNCS[op](*operands)
+        frame.stack.push(result)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_alu(frame, op, operands, result, gas_cost, dynamic)
+
+    def _op_exp(self, frame: Frame, op: int) -> None:
+        self._op_alu(frame, op)
+
+    def _op_sha3(self, frame: Frame, op: int) -> None:
+        offset, size = frame.stack.pop_n(2)
+        frame.charge(G.sha3_gas(size))
+        self._expand(frame, offset, size)
+        data = frame.memory.read(offset, size)
+        result = int.from_bytes(keccak256(data), "big")
+        frame.stack.push(result)
+        frame.pc += 1
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.hash_cost(size), 0)
+        if self.tracer is not None:
+            self.tracer.trace_sha3(frame, offset, size, data, result)
+
+    # -- transaction-constant environment values ----------------------------
+
+    def _op_tx_const(self, frame: Frame, op: int) -> None:
+        frame.charge(TX_CONST_OPS[op])
+        value = self._tx_const_value(frame, op)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_tx_const(frame, op, value)
+
+    def _tx_const_value(self, frame: Frame, op: int) -> int:
+        msg, env = frame.msg, self.env
+        if op == Op.ADDRESS:
+            return prim.address_to_word(msg.to)
+        if op == Op.ORIGIN:
+            return prim.address_to_word(self.tx.sender)
+        if op == Op.CALLER:
+            return prim.address_to_word(msg.caller)
+        if op == Op.CALLVALUE:
+            return msg.value
+        if op == Op.CALLDATASIZE:
+            return len(msg.data)
+        if op == Op.CODESIZE:
+            return len(frame.code)
+        if op == Op.GASPRICE:
+            return self.tx.gas_price
+        if op == Op.COINBASE:
+            return prim.address_to_word(env.coinbase)
+        if op == Op.TIMESTAMP:
+            return env.timestamp
+        if op == Op.NUMBER:
+            return env.number
+        if op == Op.GASLIMIT:
+            return env.gas_limit
+        if op == Op.CHAINID:
+            return env.chain_id
+        if op == Op.PC:
+            return frame.pc
+        if op == Op.MSIZE:
+            return len(frame.memory)
+        if op == Op.GAS:
+            return frame.gas
+        if op == Op.RETURNDATASIZE:
+            return len(frame.return_data)
+        raise InvalidOpcode(f"not a tx-const op: {opcode_name(op)}")
+
+    # -- account-state reads -------------------------------------------------
+
+    def _op_balance(self, frame: Frame, op: int) -> None:
+        address = prim.word_to_address(frame.stack.pop())
+        warm_key = ("a", address)
+        cold = not self.view.is_warm(warm_key)
+        self.view.mark_warm(warm_key)
+        gas_cost = G.GAS_ACCOUNT_COLD if cold else G.GAS_ACCOUNT_WARM
+        frame.charge(gas_cost)
+        key = balance_key(address)
+        value = self.view.read(key)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_sload(frame, key, value, gas_cost, operand_count=1)
+
+    def _op_selfbalance(self, frame: Frame, op: int) -> None:
+        frame.charge(5)
+        key = balance_key(frame.msg.to)
+        value = self.view.read(key)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_sload(frame, key, value, 5, operand_count=0)
+
+    def _op_extcodesize(self, frame: Frame, op: int) -> None:
+        address = prim.word_to_address(frame.stack.pop())
+        warm_key = ("a", address)
+        cold = not self.view.is_warm(warm_key)
+        self.view.mark_warm(warm_key)
+        frame.charge(G.GAS_ACCOUNT_COLD if cold else G.GAS_ACCOUNT_WARM)
+        # Code is immutable post-genesis: the result is constant per tx, so
+        # the tracer treats it like an environment value.
+        code = self.view.peek_committed(code_key(address))
+        value = len(code)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_alu(
+                frame, op, (prim.address_to_word(address),), value,
+                G.GAS_ACCOUNT_WARM, False,
+            )
+
+    def _op_extcodehash(self, frame: Frame, op: int) -> None:
+        address = prim.word_to_address(frame.stack.pop())
+        warm_key = ("a", address)
+        cold = not self.view.is_warm(warm_key)
+        self.view.mark_warm(warm_key)
+        frame.charge(G.GAS_ACCOUNT_COLD if cold else G.GAS_ACCOUNT_WARM)
+        code = self.view.peek_committed(code_key(address))
+        value = int.from_bytes(keccak256(code), "big") if code else 0
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.hash_cost(len(code)), 0)
+        if self.tracer is not None:
+            self.tracer.trace_alu(
+                frame, op, (prim.address_to_word(address),), value,
+                G.GAS_ACCOUNT_WARM, False,
+            )
+
+    def _op_blockhash(self, frame: Frame, op: int) -> None:
+        frame.charge(20)
+        number = frame.stack.pop()
+        # Deterministic stand-in for ancestor hashes (only the most recent
+        # 256 blocks resolve, as on mainnet).
+        if 0 <= self.env.number - number <= 256 and number < self.env.number:
+            value = int.from_bytes(
+                keccak256(b"blockhash:" + number.to_bytes(32, "big")), "big"
+            )
+        else:
+            value = 0
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_alu(frame, op, (number,), value, 20, False)
+
+    # -- calldata and code ----------------------------------------------------
+
+    def _op_calldataload(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        offset = frame.stack.pop()
+        data = frame.msg.data
+        chunk = data[offset : offset + 32] if offset < len(data) else b""
+        value = int.from_bytes(chunk.ljust(32, b"\x00"), "big")
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_calldataload(frame, offset, value)
+
+    def _op_calldatacopy(self, frame: Frame, op: int) -> None:
+        dest, src, size = frame.stack.pop_n(3)
+        frame.charge(G.GAS_FASTEST + G.copy_gas(size))
+        self._expand(frame, dest, size)
+        data = frame.msg.data[src : src + size].ljust(size, b"\x00")
+        frame.memory.write(dest, data)
+        frame.pc += 1
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.copy_cost(size), 0)
+        if self.tracer is not None:
+            self.tracer.trace_copy(frame, op, dest, src, size, operand_count=3)
+
+    def _op_codecopy(self, frame: Frame, op: int) -> None:
+        dest, src, size = frame.stack.pop_n(3)
+        frame.charge(G.GAS_FASTEST + G.copy_gas(size))
+        self._expand(frame, dest, size)
+        data = frame.code[src : src + size].ljust(size, b"\x00")
+        frame.memory.write(dest, data)
+        frame.pc += 1
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.copy_cost(size), 0)
+        if self.tracer is not None:
+            self.tracer.trace_copy(frame, op, dest, src, size, operand_count=3)
+
+    def _op_returndatacopy(self, frame: Frame, op: int) -> None:
+        dest, src, size = frame.stack.pop_n(3)
+        frame.charge(G.GAS_FASTEST + G.copy_gas(size))
+        if src + size > len(frame.return_data):
+            raise EVMError("RETURNDATACOPY out of bounds")
+        self._expand(frame, dest, size)
+        frame.memory.write(dest, frame.return_data[src : src + size])
+        frame.pc += 1
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.copy_cost(size), 0)
+        if self.tracer is not None:
+            self.tracer.trace_copy(frame, op, dest, src, size, operand_count=3)
+
+    # -- stack housekeeping ---------------------------------------------------
+
+    def _op_pop(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_QUICK)
+        frame.stack.pop()
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_pop(frame)
+
+    def _op_push(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        width = push_width(op)
+        value = int.from_bytes(frame.code[frame.pc + 1 : frame.pc + 1 + width], "big")
+        frame.stack.push(value)
+        frame.pc += 1 + width
+        if self.tracer is not None:
+            self.tracer.trace_push(frame, value)
+
+    def _op_push0(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_QUICK)
+        frame.stack.push(0)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_push(frame, 0)
+
+    def _op_dup(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        n = op - 0x7F
+        frame.stack.dup(n)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_dup(frame, n)
+
+    def _op_swap(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        n = op - 0x8F
+        frame.stack.swap(n)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_swap(frame, n)
+
+    # -- memory ----------------------------------------------------------------
+
+    def _op_mload(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        offset = frame.stack.pop()
+        self._expand(frame, offset, 32)
+        value = frame.memory.read_word(offset)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_mload(frame, offset, value)
+
+    def _op_mstore(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        offset, value = frame.stack.pop_n(2)
+        self._expand(frame, offset, 32)
+        frame.memory.write_word(offset, value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_mstore(frame, offset, value)
+
+    def _op_mstore8(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_FASTEST)
+        offset, value = frame.stack.pop_n(2)
+        self._expand(frame, offset, 1)
+        frame.memory.write_byte(offset, value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_mstore8(frame, offset, value)
+
+    # -- storage ----------------------------------------------------------------
+
+    def _op_sload(self, frame: Frame, op: int) -> None:
+        slot = frame.stack.pop()
+        key = storage_key(frame.msg.to, slot)
+        cold = not self.view.is_warm(key)
+        self.view.mark_warm(key)
+        gas_cost = G.sload_gas(cold)
+        frame.charge(gas_cost)
+        value = self.view.read(key)
+        frame.stack.push(value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_sload(frame, key, value, gas_cost, operand_count=1)
+
+    def _op_sstore(self, frame: Frame, op: int) -> None:
+        if frame.msg.static:
+            raise WriteProtection("SSTORE in a static call")
+        slot, value = frame.stack.pop_n(2)
+        key = storage_key(frame.msg.to, slot)
+        cold = not self.view.is_warm(key)
+        self.view.mark_warm(key)
+        current = self.view.read(key)
+        gas_cost = G.sstore_gas(current, value, cold)
+        frame.charge(gas_cost)
+        self.view.write(key, value)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_sstore(frame, key, value, gas_cost, current, cold)
+
+    # -- control flow -------------------------------------------------------------
+
+    def _op_jump(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_MID)
+        dest = frame.stack.pop()
+        if dest not in frame.jumpdests:
+            raise InvalidJump(f"JUMP to non-JUMPDEST {dest}")
+        if self.tracer is not None:
+            self.tracer.trace_jump(frame, dest)
+        frame.pc = dest
+
+    def _op_jumpi(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_HIGH)
+        dest, cond = frame.stack.pop_n(2)
+        taken = cond != 0
+        if taken and dest not in frame.jumpdests:
+            raise InvalidJump(f"JUMPI to non-JUMPDEST {dest}")
+        if self.tracer is not None:
+            self.tracer.trace_jumpi(frame, dest, cond, taken)
+        frame.pc = dest if taken else frame.pc + 1
+
+    def _op_jumpdest(self, frame: Frame, op: int) -> None:
+        frame.charge(G.GAS_JUMPDEST)
+        frame.pc += 1
+
+    # -- logging ---------------------------------------------------------------
+
+    def _op_log(self, frame: Frame, op: int) -> None:
+        if frame.msg.static:
+            raise WriteProtection("LOG in a static call")
+        topic_count = op - Op.LOG0
+        offset, size = frame.stack.pop_n(2)
+        topics = frame.stack.pop_n(topic_count)
+        frame.charge(G.log_gas(topic_count, size))
+        self._expand(frame, offset, size)
+        data = frame.memory.read(offset, size)
+        record = LogRecord(frame.msg.to, topics, data)
+        self.logs.append(record)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_log(frame, record, topic_count, offset, size)
+
+    # -- calls -------------------------------------------------------------------
+
+    def _op_call(self, frame: Frame, op: int) -> None:
+        delegate = False
+        if op == Op.CALL:
+            operands = frame.stack.pop_n(7)
+            (gas_req, to_word, value, args_off, args_size, ret_off, ret_size) = (
+                operands
+            )
+            static = frame.msg.static
+            if static and value != 0:
+                raise WriteProtection("value-bearing CALL in a static context")
+        elif op == Op.DELEGATECALL:
+            operands = frame.stack.pop_n(6)
+            gas_req, to_word, args_off, args_size, ret_off, ret_size = operands
+            value = 0
+            static = frame.msg.static
+            delegate = True
+        else:  # STATICCALL
+            operands = frame.stack.pop_n(6)
+            gas_req, to_word, args_off, args_size, ret_off, ret_size = operands
+            value = 0
+            static = True
+
+        if frame.msg.depth + 1 > CALL_DEPTH_LIMIT:
+            raise EVMError("call depth limit exceeded")
+
+        to = prim.word_to_address(to_word)
+        warm_key = ("a", to)
+        cold = not self.view.is_warm(warm_key)
+        self.view.mark_warm(warm_key)
+        frame.charge(G.call_gas(value, cold))
+        self._expand(frame, args_off, args_size)
+        self._expand(frame, ret_off, ret_size)
+
+        available = frame.gas - frame.gas // 64
+        callee_gas = min(gas_req, available)
+        frame.charge(callee_gas)
+        if value > 0:
+            callee_gas += G.GAS_CALL_STIPEND
+
+        call_data = frame.memory.read(args_off, args_size)
+        if self.tracer is not None:
+            self.tracer.trace_call_start(frame, op, operands, args_off, args_size)
+
+        transfer_mark = self.view.snapshot()
+        if value > 0:
+            self._transfer(frame.msg.to, to, value)
+
+        if self.meter is not None:
+            self.meter.charge_compute(self.cm.call_frame_us, 0)
+
+        if delegate:
+            # DELEGATECALL: run the target's code with the *current* frame's
+            # address, storage, caller and value.
+            msg = CallMessage(
+                caller=frame.msg.caller,
+                to=frame.msg.to,
+                value=frame.msg.value,
+                data=call_data,
+                gas=callee_gas,
+                static=static,
+                depth=frame.msg.depth + 1,
+            )
+            success, return_data, gas_left = self.call(msg, code_address=to)
+        else:
+            msg = CallMessage(
+                caller=frame.msg.to,
+                to=to,
+                value=value,
+                data=call_data,
+                gas=callee_gas,
+                static=static,
+                depth=frame.msg.depth + 1,
+            )
+            success, return_data, gas_left = self.call(msg)
+        if not success and value > 0:
+            # The callee's own writes were already rolled back by call();
+            # unwind the value transfer as well.
+            self.view.revert_to(transfer_mark)
+
+        frame.gas += gas_left
+        frame.return_data = return_data
+        copy_size = min(ret_size, len(return_data))
+        if copy_size:
+            frame.memory.write(ret_off, return_data[:copy_size])
+        frame.stack.push(1 if success else 0)
+        frame.pc += 1
+        if self.tracer is not None:
+            self.tracer.trace_call_end(frame, success, ret_off, copy_size)
+
+    def _transfer(self, sender: bytes, recipient: bytes, value: int) -> None:
+        """Move ``value`` wei; insufficient funds abort the current frame.
+
+        The sender-side read-modify-write is reported to the tracer with a
+        ``minimum`` so the redo phase re-checks solvency (a constraint
+        guard — the paper's §3.2 example).
+        """
+        sender_key = balance_key(sender)
+        sender_balance = self.view.read(sender_key)
+        if self.tracer is not None:
+            self.tracer.trace_intrinsic_rmw(
+                sender_key, sender_balance, -value, minimum=value
+            )
+        if sender_balance < value:
+            raise EVMError("insufficient balance for transfer")
+        self.view.write(sender_key, sender_balance - value)
+
+        recipient_key = balance_key(recipient)
+        recipient_balance = self.view.read(recipient_key)
+        if self.tracer is not None:
+            self.tracer.trace_intrinsic_rmw(
+                recipient_key, recipient_balance, value, minimum=None
+            )
+        self.view.write(recipient_key, recipient_balance + value)
+
+    # -- halts ---------------------------------------------------------------
+
+    def _op_return(self, frame: Frame, op: int) -> None:
+        offset, size = frame.stack.pop_n(2)
+        self._expand(frame, offset, size)
+        data = frame.memory.read(offset, size)
+        if self.tracer is not None:
+            self.tracer.trace_halt(frame, op, offset, size)
+        raise _Halt(data)
+
+    def _op_revert(self, frame: Frame, op: int) -> None:
+        offset, size = frame.stack.pop_n(2)
+        self._expand(frame, offset, size)
+        data = frame.memory.read(offset, size)
+        if self.tracer is not None:
+            self.tracer.trace_halt(frame, op, offset, size)
+        raise Revert(data)
+
+    def _op_invalid(self, frame: Frame, op: int) -> None:
+        raise InvalidOpcode("INVALID opcode executed")
+
+
+_DISPATCH: dict[int, object] = {Op.STOP: EVM._op_stop}
+for _op in ALU_OPS:
+    _DISPATCH[_op] = EVM._op_alu
+_DISPATCH[Op.EXP] = EVM._op_exp
+for _op in TX_CONST_OPS:
+    _DISPATCH[_op] = EVM._op_tx_const
+_DISPATCH.update(
+    {
+        Op.SHA3: EVM._op_sha3,
+        Op.BALANCE: EVM._op_balance,
+        Op.SELFBALANCE: EVM._op_selfbalance,
+        Op.CALLDATALOAD: EVM._op_calldataload,
+        Op.CALLDATACOPY: EVM._op_calldatacopy,
+        Op.CODECOPY: EVM._op_codecopy,
+        Op.RETURNDATACOPY: EVM._op_returndatacopy,
+        Op.POP: EVM._op_pop,
+        Op.PUSH0: EVM._op_push0,
+        Op.MLOAD: EVM._op_mload,
+        Op.MSTORE: EVM._op_mstore,
+        Op.MSTORE8: EVM._op_mstore8,
+        Op.SLOAD: EVM._op_sload,
+        Op.SSTORE: EVM._op_sstore,
+        Op.JUMP: EVM._op_jump,
+        Op.JUMPI: EVM._op_jumpi,
+        Op.JUMPDEST: EVM._op_jumpdest,
+        Op.CALL: EVM._op_call,
+        Op.DELEGATECALL: EVM._op_call,
+        Op.STATICCALL: EVM._op_call,
+        Op.EXTCODESIZE: EVM._op_extcodesize,
+        Op.EXTCODEHASH: EVM._op_extcodehash,
+        Op.BLOCKHASH: EVM._op_blockhash,
+        Op.RETURN: EVM._op_return,
+        Op.REVERT: EVM._op_revert,
+        Op.INVALID: EVM._op_invalid,
+    }
+)
+# EXP shares the ALU body; the dispatch above routes GAS/PC/etc. through
+# _op_tx_const, whose values are constant for the transaction under the
+# paper's gas-flow and control-flow guards.
+
+
+def execute_transaction(
+    view: StateView,
+    tx: Transaction,
+    env: BlockEnv,
+    tracer=None,
+    meter: CostMeter | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> TxResult:
+    """Run one transaction against ``view`` (the paper's read phase body).
+
+    Applies the full envelope: intrinsic gas, nonce bump, value transfer,
+    bytecode execution, and the gas fee charge — all buffered in the view.
+    The caller decides what to do with the view's read/write sets.
+    """
+    if meter is not None:
+        meter.charge_compute(cost_model.tx_fixed_us, 0)
+
+    intrinsic = G.intrinsic_gas(tx.data)
+    if intrinsic > tx.gas_limit:
+        return TxResult(
+            tx=tx, success=False, gas_used=tx.gas_limit, error="intrinsic gas"
+        )
+
+    # Nonce bump (an intrinsic RMW: same-sender transactions conflict here).
+    nkey = nonce_key(tx.sender)
+    nonce = view.read(nkey)
+    if tracer is not None:
+        tracer.trace_intrinsic_rmw(nkey, nonce, 1, minimum=None)
+    view.write(nkey, nonce + 1)
+
+    # Upfront solvency: the sender must cover value + the full gas allowance.
+    upfront = tx.value + tx.gas_limit * tx.gas_price
+    sender_bkey = balance_key(tx.sender)
+    sender_balance = view.read(sender_bkey)
+    if tracer is not None:
+        tracer.trace_intrinsic_rmw(sender_bkey, sender_balance, 0, minimum=upfront)
+    if sender_balance < upfront:
+        return TxResult(
+            tx=tx, success=False, gas_used=0, error="insufficient funds"
+        )
+
+    view.mark_warm(("a", tx.sender))
+    evm = EVM(view, env, tx, tracer=tracer, meter=meter, cost_model=cost_model)
+
+    success = True
+    error = None
+    return_data = b""
+    gas_left = tx.gas_limit - intrinsic
+
+    mark = view.snapshot()
+    if tx.to is not None:
+        view.mark_warm(("a", tx.to))
+        if tx.value:
+            evm._transfer(tx.sender, tx.to, tx.value)
+        code = view.read(code_key(tx.to))
+        if code:
+            msg = CallMessage(
+                caller=tx.sender,
+                to=tx.to,
+                value=tx.value,
+                data=tx.data,
+                gas=gas_left,
+                static=False,
+                depth=0,
+            )
+            success, return_data, gas_left = evm.call(msg)
+            if not success:
+                # A failed top-level call reverts everything but the nonce
+                # bump and the fee (charged below).
+                view.revert_to(mark)
+                error = "execution reverted"
+    else:
+        # Value burn (no recipient); kept for completeness.
+        view.write(sender_bkey, view.read(sender_bkey) - tx.value)
+
+    gas_used = tx.gas_limit - gas_left
+
+    # Fee charge: the coinbase credit is settled once per block (see module
+    # docstring); only the sender-side debit happens per transaction.
+    fee = gas_used * tx.gas_price
+    balance_now = view.read(sender_bkey)
+    if tracer is not None:
+        tracer.trace_intrinsic_rmw(sender_bkey, balance_now, -fee, minimum=fee)
+    view.write(sender_bkey, balance_now - fee)
+
+    return TxResult(
+        tx=tx,
+        success=success,
+        gas_used=gas_used,
+        return_data=return_data,
+        error=error,
+        logs=evm.logs,
+        read_set=dict(view.read_set),
+        write_set=view.write_set,
+        duration_us=meter.total_us if meter is not None else 0.0,
+        ops_executed=evm.ops_executed,
+    )

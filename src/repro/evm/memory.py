@@ -1,0 +1,66 @@
+"""EVM volatile memory: byte-addressable, zero-initialised, word-expanded."""
+
+from __future__ import annotations
+
+from ..errors import OutOfGas
+
+# A sanity bound: offsets beyond this would cost more gas than any block
+# holds; treating them as out-of-gas up front avoids pathological allocation.
+_MAX_MEMORY_BYTES = 1 << 24
+
+
+class Memory:
+    """A growable bytearray with 32-byte-word expansion accounting.
+
+    :meth:`expand_to` returns the number of *new* words, which the gas layer
+    converts into the quadratic memory-expansion cost.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def size_words(self) -> int:
+        return len(self._data) // 32
+
+    def expand_to(self, offset: int, size: int) -> int:
+        """Grow memory to cover [offset, offset+size); returns new word count.
+
+        A zero-size access never expands memory (yellow paper rule).
+        """
+        if size == 0:
+            return 0
+        end = offset + size
+        if end > _MAX_MEMORY_BYTES:
+            raise OutOfGas(f"memory expansion to {end} bytes is unpayable")
+        current_words = len(self._data) // 32
+        needed_words = (end + 31) // 32
+        if needed_words > current_words:
+            self._data.extend(b"\x00" * ((needed_words - current_words) * 32))
+            return needed_words - current_words
+        return 0
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes (caller must have expanded first)."""
+        if size == 0:
+            return b""
+        return bytes(self._data[offset : offset + size])
+
+    def read_word(self, offset: int) -> int:
+        return int.from_bytes(self._data[offset : offset + 32], "big")
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes (caller must have expanded first)."""
+        if data:
+            self._data[offset : offset + len(data)] = data
+
+    def write_word(self, offset: int, value: int) -> None:
+        self._data[offset : offset + 32] = value.to_bytes(32, "big")
+
+    def write_byte(self, offset: int, value: int) -> None:
+        self._data[offset] = value & 0xFF

@@ -1,0 +1,81 @@
+"""Transactions, call messages, block environment and execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..primitives import ZERO_ADDRESS
+from ..state.keys import StateKey
+
+
+@dataclass(slots=True)
+class Transaction:
+    """A signed-and-verified transaction, ready for execution.
+
+    Signature recovery is outside the scope of the paper's measurements
+    (geth verifies signatures before block execution); senders are therefore
+    plain addresses here.
+    """
+
+    sender: bytes
+    to: bytes | None  # None models a plain burn; contract creation is unsupported
+    value: int = 0
+    data: bytes = b""
+    gas_limit: int = 1_000_000
+    gas_price: int = 1
+    nonce: int | None = None  # None = don't check (workload generator fills it)
+    tx_index: int = -1  # position within the block, set by the block builder
+
+    def describe(self) -> str:
+        to_hex = "0x" + self.to.hex()[:8] if self.to else "<burn>"
+        return f"tx[{self.tx_index}] 0x{self.sender.hex()[:8]}->{to_hex}"
+
+
+@dataclass(slots=True)
+class BlockEnv:
+    """Block-level execution context exposed to contracts."""
+
+    number: int = 1
+    timestamp: int = 1_700_000_000
+    coinbase: bytes = ZERO_ADDRESS
+    gas_limit: int = 30_000_000
+    chain_id: int = 1
+
+
+@dataclass(slots=True)
+class CallMessage:
+    """One message-call frame's parameters."""
+
+    caller: bytes
+    to: bytes
+    value: int
+    data: bytes
+    gas: int
+    static: bool = False
+    depth: int = 0
+
+
+@dataclass(slots=True)
+class LogRecord:
+    """An emitted LOG entry (address, topics, payload)."""
+
+    address: bytes
+    topics: tuple[int, ...]
+    data: bytes
+
+
+@dataclass(slots=True)
+class TxResult:
+    """Everything the concurrency layer needs from one speculative execution."""
+
+    tx: Transaction
+    success: bool
+    gas_used: int
+    return_data: bytes = b""
+    error: str | None = None
+    logs: list[LogRecord] = field(default_factory=list)
+    read_set: dict[StateKey, object] = field(default_factory=dict)
+    write_set: dict[StateKey, object] = field(default_factory=dict)
+    # Simulated duration of producing this result (read-phase cost).
+    duration_us: float = 0.0
+    ops_executed: int = 0

@@ -1,0 +1,27 @@
+"""A simulated clock: a mutable current-time holder in microseconds."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time.  Purely logical — never sleeps."""
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = start_us
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> None:
+        """Move time forward to ``t_us``; moving backwards is a bug."""
+        if t_us < self._now_us - 1e-9:
+            raise ValueError(
+                f"simulated clock moved backwards: {self._now_us} -> {t_us}"
+            )
+        self._now_us = max(self._now_us, t_us)
+
+    def advance_by(self, delta_us: float) -> None:
+        if delta_us < 0:
+            raise ValueError("cannot advance the clock by a negative duration")
+        self._now_us += delta_us

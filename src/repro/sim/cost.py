@@ -1,0 +1,84 @@
+"""The calibrated cost model mapping real work to simulated time.
+
+Calibration targets (all from the paper):
+
+- Storage reads dominate serial block time: prefetching alone yields a 2.89×
+  serial speedup (Table 2), implying roughly 65% of serial time is cold-read
+  latency.  We model a LevelDB point read at ~18 µs and a cache hit at
+  ~0.25 µs (SSD point-read and in-memory map scales).
+- The interpreter executes simple opcodes at tens of millions per second in
+  Go; we charge a small per-opcode dispatch cost plus surcharges for hashing
+  and memory copies.
+- SSA-log generation costs ≈4.5% of read-phase time (§6.4); we charge a
+  per-traced-event shadow cost plus a per-created-entry cost and verify the
+  resulting ratio in the overhead benchmarks.
+
+All numbers are simulated microseconds.  Absolute values are irrelevant to
+the reproduced figures (which are ratios); only the *proportions* matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CostModel:
+    """Tunable cost constants for the simulated machine."""
+
+    # --- interpreter -----------------------------------------------------
+    # Calibration note: the workload contracts in repro.contracts are
+    # hand-assembled and execute ~30-40x fewer instructions than the solc
+    # output behind the paper's measured 2559-instruction average, so the
+    # per-op dispatch cost is scaled up to keep each transaction's
+    # compute:storage time ratio at mainnet proportions (~35:65, the ratio
+    # implied by Table 2's 2.89x prefetch-only speedup).
+    op_dispatch_us: float = 0.55  # fetch/decode/dispatch + simple ALU op
+    hash_base_us: float = 0.60  # SHA3 setup
+    hash_word_us: float = 0.05  # SHA3 per 32-byte word
+    copy_word_us: float = 0.02  # memory/calldata copy per word
+    exp_byte_us: float = 0.10  # EXP per exponent byte
+    call_frame_us: float = 3.0  # frame setup/teardown for CALL
+
+    # --- state accesses --------------------------------------------------
+    # Cold/warm latencies come from the backing SimulatedDiskKV; these are
+    # the in-overlay costs for accesses that never reach the database.
+    overlay_read_us: float = 0.10  # read satisfied by a tx/block overlay
+    sstore_buffer_us: float = 0.50  # buffering a storage write
+
+    # --- concurrency-control bookkeeping ----------------------------------
+    # Validation and commit form the serial spine every optimistic executor
+    # shares (transactions commit in block order); their cost bounds the
+    # attainable speedup at high thread counts (Figure 10's plateau).
+    validate_key_us: float = 1.20  # compare one read-set entry at validation
+    commit_key_us: float = 1.50  # publish one write-set entry
+    tx_fixed_us: float = 6.0  # per-tx setup (signature already verified)
+    scheduler_slot_us: float = 2.5  # dispatch overhead per scheduled task
+
+    # --- SSA operation log (ParallelEVM only) ----------------------------
+    shadow_event_us: float = 0.020  # shadow stack/memory upkeep per opcode
+    log_entry_us: float = 0.15  # materialising one SSA log entry
+    redo_entry_us: float = 0.90  # re-executing one log entry in the redo phase
+
+    # --- 2PL -------------------------------------------------------------
+    lock_acquire_us: float = 0.5  # per-acquisition work on the owning thread
+    # The lock table is a single shared structure: every acquisition also
+    # takes a critical section in the lock manager, and those serialise
+    # across all threads.  This term barely shows against cold storage
+    # reads but dominates once state is prefetched — which is why the
+    # paper's 2PL+prefetch (2.23x) trails even prefetch-only serial
+    # execution (2.89x).
+    lock_table_serial_us: float = 1.6
+
+    def hash_cost(self, length: int) -> float:
+        """Cost of Keccak-hashing ``length`` bytes."""
+        words = (length + 31) // 32
+        return self.hash_base_us + words * self.hash_word_us
+
+    def copy_cost(self, length: int) -> float:
+        """Cost of copying ``length`` bytes between memory regions."""
+        words = (length + 31) // 32
+        return words * self.copy_word_us
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,121 @@
+"""Merkle proofs over the Patricia trie (eth_getProof-style).
+
+A proof for a key is the list of RLP-encoded nodes on the path from the
+root to the key's leaf (or to the divergence point, for exclusion proofs).
+Verification walks the path using only the root hash and the proof nodes:
+every referenced child must either be embedded inline (encodings shorter
+than 32 bytes) or match the Keccak-256 digest of the next supplied node.
+
+Light clients and the paper's §7 proposer/validator split both rest on
+this primitive: a proposer can ship storage values with proofs instead of
+trusting validators to hold full state.
+"""
+
+from __future__ import annotations
+
+from .. import rlp
+from ..crypto import keccak256_cached
+from ..errors import TrieError
+from .mpt import MerklePatriciaTrie, _Branch, _Extension, _Leaf
+from .nibbles import bytes_to_nibbles, hp_decode
+
+
+def get_proof(trie: MerklePatriciaTrie, key: bytes) -> list[bytes]:
+    """The RLP encodings of every hashed node on ``key``'s lookup path.
+
+    Returns an empty list for an empty trie.  The proof works both as an
+    inclusion proof (key present) and an exclusion proof (path diverges).
+    """
+    proof: list[bytes] = []
+    node = trie._root
+    path = bytes_to_nibbles(key)
+    while node is not None:
+        encoded = trie._encode(node)
+        # Inline nodes (<32 bytes) are embedded in their parent and never
+        # appear as separate proof elements.
+        if len(encoded) >= 32 or not proof:
+            proof.append(encoded)
+        if isinstance(node, _Leaf):
+            break
+        if isinstance(node, _Extension):
+            plen = len(node.path)
+            if path[:plen] != node.path:
+                break
+            path = path[plen:]
+            node = node.child
+            continue
+        # branch
+        if not path:
+            break
+        child = node.children[path[0]]
+        path = path[1:]
+        node = child
+    return proof
+
+
+def verify_proof(root: bytes, key: bytes, proof: list[bytes]) -> bytes | None:
+    """Verify ``proof`` against ``root``; returns the proven value or None.
+
+    None means the proof is a valid *exclusion* proof (the key is absent).
+    Raises :class:`TrieError` on any inconsistency — a tampered node, a
+    hash mismatch, or a truncated proof.
+    """
+    if not proof:
+        if root == keccak256_cached(rlp.encode(b"")):
+            return None
+        raise TrieError("empty proof for a non-empty root")
+
+    expected = root
+    path = bytes_to_nibbles(key)
+    index = 0
+    node_item: rlp.RLPItem | None = None
+
+    while True:
+        if node_item is None:
+            if index >= len(proof):
+                raise TrieError("proof ended before the path was resolved")
+            encoded = proof[index]
+            index += 1
+            if keccak256_cached(encoded) != expected:
+                raise TrieError("proof node hash mismatch")
+            node_item = rlp.decode(encoded)
+
+        if not isinstance(node_item, list):
+            raise TrieError("proof node is not an RLP list")
+
+        if len(node_item) == 2:
+            hp, payload = node_item
+            node_path, is_leaf = hp_decode(hp)
+            if is_leaf:
+                if tuple(path) == node_path:
+                    return payload
+                return None  # valid exclusion: leaf for a different key
+            # extension
+            plen = len(node_path)
+            if tuple(path[:plen]) != node_path:
+                return None  # diverged: exclusion proof
+            path = path[plen:]
+            node_item, expected = _follow(payload)
+            continue
+
+        if len(node_item) == 17:
+            if not path:
+                value = node_item[16]
+                return value if value != b"" else None
+            child = node_item[path[0]]
+            path = path[1:]
+            if child == b"":
+                return None  # empty slot: exclusion proof
+            node_item, expected = _follow(child)
+            continue
+
+        raise TrieError(f"malformed proof node with {len(node_item)} items")
+
+
+def _follow(ref: rlp.RLPItem) -> tuple[rlp.RLPItem | None, bytes | None]:
+    """Resolve a child reference: inline node or a hash to chase next."""
+    if isinstance(ref, list):
+        return ref, None  # embedded inline node
+    if isinstance(ref, bytes) and len(ref) == 32:
+        return None, ref  # digest: the next proof element must match
+    raise TrieError("malformed child reference in proof node")

@@ -1,0 +1,87 @@
+"""Determinism of the whole pipeline and coarse speedup-shape assertions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrency import (
+    BlockSTMExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    TwoPLExecutor,
+)
+from repro.core.executor import ParallelEVMExecutor
+from repro.workloads import ChainSpec, MainnetConfig, MainnetWorkload, build_chain
+
+
+@pytest.fixture(scope="module")
+def setting():
+    chain = build_chain(ChainSpec(tokens=4, amm_pairs=2, accounts=200))
+    wl = MainnetWorkload(chain, MainnetConfig(txs_per_block=80))
+    block = wl.block(14_000_000)
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    return chain, block, serial
+
+
+@pytest.mark.parametrize(
+    "executor_cls",
+    [SerialExecutor, TwoPLExecutor, OCCExecutor, BlockSTMExecutor,
+     ParallelEVMExecutor],
+)
+def test_makespans_are_deterministic(setting, executor_cls):
+    chain, block, _ = setting
+    r1 = executor_cls(threads=8).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    r2 = executor_cls(threads=8).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    assert r1.makespan_us == r2.makespan_us
+    assert r1.writes == r2.writes
+    assert r1.stats == r2.stats
+
+
+def test_speedup_ordering_matches_table1(setting):
+    """The paper's headline shape: 1 < 2PL < OCC < Block-STM < ParallelEVM."""
+    chain, block, serial = setting
+    speedups = {}
+    for cls in (TwoPLExecutor, OCCExecutor, BlockSTMExecutor, ParallelEVMExecutor):
+        result = cls(threads=16).execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        speedups[cls.name] = serial.makespan_us / result.makespan_us
+    assert 1.0 <= speedups["2pl"] < speedups["occ"]
+    assert speedups["occ"] < speedups["block-stm"]
+    assert speedups["block-stm"] < speedups["parallelevm"]
+
+
+def test_parallelevm_scales_with_threads(setting):
+    chain, block, serial = setting
+    makespans = []
+    for threads in (1, 4, 16):
+        result = ParallelEVMExecutor(threads=threads).execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        makespans.append(result.makespan_us)
+    assert makespans[0] > makespans[1] > makespans[2]
+
+
+def test_single_thread_parallelevm_close_to_serial(setting):
+    """With one thread, ParallelEVM pays tracking + validation on top of
+    serial work: it must be within ~1.35x of serial, never faster."""
+    chain, block, serial = setting
+    result = ParallelEVMExecutor(threads=1).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    ratio = result.makespan_us / serial.makespan_us
+    assert 1.0 <= ratio < 1.35
+
+
+def test_occ_reexecutes_only_conflicting_txs(setting):
+    chain, block, _ = setting
+    result = OCCExecutor(threads=16).execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    assert result.stats["executions"] == len(block.txs) + result.stats["aborts"]

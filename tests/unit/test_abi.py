@@ -1,0 +1,63 @@
+"""ABI helpers: selectors, topics, calldata encoding."""
+
+from __future__ import annotations
+
+from repro.contracts.abi import (
+    encode_address,
+    encode_call,
+    encode_uint256,
+    event_topic,
+    selector,
+)
+from repro.primitives import make_address
+
+
+class TestSelectors:
+    def test_known_selectors(self):
+        assert selector("transfer(address,uint256)") == 0xA9059CBB
+        assert selector("transferFrom(address,address,uint256)") == 0x23B872DD
+        assert selector("approve(address,uint256)") == 0x095EA7B3
+        assert selector("balanceOf(address)") == 0x70A08231
+
+    def test_selector_is_cached_and_stable(self):
+        assert selector("totalSupply()") == selector("totalSupply()")
+
+    def test_event_topic_is_full_word(self):
+        topic = event_topic("Transfer(address,address,uint256)")
+        assert topic == int(
+            "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef",
+            16,
+        )
+
+
+class TestEncoding:
+    def test_uint256_is_32_bytes(self):
+        assert encode_uint256(1) == (1).to_bytes(32, "big")
+        assert len(encode_uint256(2**255)) == 32
+
+    def test_address_left_padded(self):
+        addr = make_address(7)
+        encoded = encode_address(addr)
+        assert len(encoded) == 32
+        assert encoded[:12] == b"\x00" * 12
+        assert encoded[12:] == addr
+
+    def test_encode_call_layout(self):
+        addr = make_address(9)
+        data = encode_call("transfer(address,uint256)", addr, 300)
+        assert data[:4] == (0xA9059CBB).to_bytes(4, "big")
+        assert data[4:36] == encode_address(addr)
+        assert data[36:68] == encode_uint256(300)
+        assert len(data) == 68
+
+    def test_encode_call_no_args(self):
+        assert encode_call("totalSupply()") == (0x18160DDD).to_bytes(4, "big")
+
+    def test_int_and_address_args_mix(self):
+        a, b = make_address(1), make_address(2)
+        data = encode_call(
+            "transferFrom(address,address,uint256)", a, b, 5
+        )
+        assert len(data) == 4 + 3 * 32
+        assert data[4:36].endswith(a)
+        assert data[36:68].endswith(b)

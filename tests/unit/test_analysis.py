@@ -1,0 +1,93 @@
+"""Conflict-graph analysis and the transaction-level speedup bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_block
+from repro.workloads import (
+    ChainSpec,
+    MainnetConfig,
+    MainnetWorkload,
+    build_chain,
+    conflict_ratio_block,
+)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return build_chain(ChainSpec(tokens=3, amm_pairs=1, accounts=120))
+
+
+class TestConflictFreeBlocks:
+    def test_no_dependencies(self, chain):
+        block = conflict_ratio_block(chain, 1, 30, ratio=0.0)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        assert analysis.conflicting_txs == 0
+        assert all(not deps for deps in analysis.dependencies)
+        assert analysis.critical_path_txs == 1
+
+    def test_bound_is_near_tx_count(self, chain):
+        block = conflict_ratio_block(chain, 2, 30, ratio=0.0)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        # The bound is total/max-duration: high for uniform blocks.
+        assert analysis.tx_level_speedup_bound > 15
+
+
+class TestFullyConflictingBlocks:
+    def test_chain_spans_the_block(self, chain):
+        block = conflict_ratio_block(chain, 3, 30, ratio=1.0)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        assert analysis.conflicting_txs == 30
+        assert analysis.critical_path_txs == 30  # one long chain
+        # Warm reads make later links cheaper, so the bound exceeds 1,
+        # but it stays far below the conflict-free bound.
+        assert analysis.tx_level_speedup_bound < 10
+
+    def test_hot_key_identified(self, chain):
+        from repro.contracts import balance_slot
+        from repro.state.keys import storage_key
+
+        block = conflict_ratio_block(chain, 4, 20, ratio=1.0)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        # Every tx touches the owner's balance slot (alongside the proxied
+        # token's code and implementation-slot keys, which tie at 20).
+        full_touch = {key for key, count in analysis.hot_keys if count == 20}
+        assert storage_key(
+            chain.tokens[0], balance_slot(chain.accounts[0])
+        ) in full_touch
+
+
+class TestMainnetBlocks:
+    def test_profile_is_coherent(self, chain):
+        block = MainnetWorkload(chain, MainnetConfig(txs_per_block=40)).block(7)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        assert analysis.tx_count == 40
+        assert 0 < analysis.conflicting_txs <= 40
+        assert 1 <= analysis.critical_path_txs <= 40
+        assert analysis.critical_path_us <= analysis.total_us
+        assert analysis.tx_level_speedup_bound >= 1.0
+        assert "speedup bound" in analysis.describe()
+
+    def test_dependencies_point_backwards(self, chain):
+        block = MainnetWorkload(chain, MainnetConfig(txs_per_block=30)).block(8)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        for j, deps in enumerate(analysis.dependencies):
+            assert all(i < j for i in deps)
+
+    def test_parallelevm_can_exceed_the_tx_level_bound(self, chain):
+        """The headline structural claim: operation-level conflict handling
+        is not limited by the transaction-level critical path."""
+        from repro.concurrency import SerialExecutor
+        from repro.core.executor import ParallelEVMExecutor
+
+        block = conflict_ratio_block(chain, 9, 50, ratio=1.0)
+        analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+        serial = SerialExecutor().execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        result = ParallelEVMExecutor(threads=16).execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        achieved = serial.makespan_us / result.makespan_us
+        assert achieved > analysis.tx_level_speedup_bound

@@ -1,0 +1,218 @@
+"""Nested message calls: CALL, STATICCALL, value transfer, returndata."""
+
+from __future__ import annotations
+
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import execute_transaction
+from repro.evm.message import BlockEnv, Transaction
+from repro.primitives import address_to_word, make_address
+from repro.state import StateView, WorldState
+from repro.state.keys import balance_key, storage_key
+
+CALLER_ADDR = make_address(0xAAAA)
+CALLEE_ADDR = make_address(0xBBBB)
+SENDER = make_address(0x5E4D)
+ETHER = 10**18
+
+RETURN_TOP = "PUSH0 MSTORE PUSH 32 PUSH0 RETURN"
+
+
+def build_world(caller_src: str, callee_src: str) -> WorldState:
+    world = WorldState()
+    world.set_code(CALLER_ADDR, assemble(caller_src))
+    world.set_code(CALLEE_ADDR, assemble(callee_src))
+    world.set_balance(SENDER, 10 * ETHER)
+    return world
+
+
+def run(world: WorldState, value: int = 0, gas_limit: int = 1_000_000):
+    view = StateView(world)
+    tx = Transaction(sender=SENDER, to=CALLER_ADDR, value=value, gas_limit=gas_limit)
+    return execute_transaction(view, tx, BlockEnv()), view
+
+
+def call_snippet(value: int = 0, args_size: int = 0, ret_size: int = 32,
+                 opcode: str = "CALL") -> str:
+    """CALL/STATICCALL to CALLEE with ret buffer at 0."""
+    to_word = address_to_word(CALLEE_ADDR)
+    value_part = f"PUSH {value}" if opcode == "CALL" else ""
+    return f"""
+    PUSH {ret_size} PUSH0 PUSH {args_size} PUSH0 {value_part}
+    PUSH {to_word} PUSH 300000 {opcode}
+    """
+
+
+class TestBasicCall:
+    def test_call_returns_callee_data(self):
+        callee = f"PUSH 77 {RETURN_TOP}"
+        caller = call_snippet() + f"POP PUSH0 MLOAD {RETURN_TOP}"
+        result, _ = run(build_world(caller, callee))
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 77
+
+    def test_call_success_flag_is_one(self):
+        callee = "STOP"
+        caller = call_snippet() + RETURN_TOP
+        result, _ = run(build_world(caller, callee))
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_call_to_reverting_callee_pushes_zero(self):
+        callee = "PUSH0 PUSH0 REVERT"
+        caller = call_snippet() + RETURN_TOP
+        result, _ = run(build_world(caller, callee))
+        assert result.success  # the caller survives
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_call_to_empty_account_succeeds(self):
+        caller = call_snippet() + RETURN_TOP
+        world = build_world(caller, "STOP")
+        world.set_code(CALLEE_ADDR, b"")
+        result, _ = run(world)
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_callee_sees_caller_identity(self):
+        callee = f"CALLER {RETURN_TOP}"
+        caller = call_snippet() + f"POP PUSH0 MLOAD {RETURN_TOP}"
+        result, _ = run(build_world(caller, callee))
+        assert int.from_bytes(result.return_data, "big") == address_to_word(
+            CALLER_ADDR
+        )
+
+    def test_origin_is_tx_sender_in_nested_frame(self):
+        callee = f"ORIGIN {RETURN_TOP}"
+        caller = call_snippet() + f"POP PUSH0 MLOAD {RETURN_TOP}"
+        result, _ = run(build_world(caller, callee))
+        assert int.from_bytes(result.return_data, "big") == address_to_word(SENDER)
+
+
+class TestValueTransfer:
+    def test_call_moves_value(self):
+        callee = "STOP"
+        caller = call_snippet(value=123) + "STOP"
+        world = build_world(caller, callee)
+        world.set_balance(CALLER_ADDR, 1_000)
+        result, view = run(world)
+        assert result.success
+        assert result.write_set[balance_key(CALLEE_ADDR)] == 123
+        assert result.write_set[balance_key(CALLER_ADDR)] == 877
+
+    def test_reverting_callee_rolls_back_transfer(self):
+        callee = "PUSH0 PUSH0 REVERT"
+        caller = call_snippet(value=123) + "STOP"
+        world = build_world(caller, callee)
+        world.set_balance(CALLER_ADDR, 1_000)
+        result, _ = run(world)
+        assert result.success
+        assert balance_key(CALLEE_ADDR) not in result.write_set
+
+    def test_insufficient_contract_balance_fails_frame(self):
+        callee = "STOP"
+        caller = call_snippet(value=123) + "STOP"
+        world = build_world(caller, callee)  # caller contract holds 0
+        result, _ = run(world)
+        assert not result.success
+
+    def test_tx_value_lands_on_contract(self):
+        caller = f"SELFBALANCE {RETURN_TOP}"
+        world = build_world(caller, "STOP")
+        result, _ = run(world, value=555)
+        assert int.from_bytes(result.return_data, "big") == 555
+
+
+class TestCalleeStateWrites:
+    def test_callee_storage_write_is_in_tx_write_set(self):
+        callee = "PUSH 9 PUSH 1 SSTORE STOP"
+        caller = call_snippet() + "STOP"
+        result, _ = run(build_world(caller, callee))
+        assert result.write_set[storage_key(CALLEE_ADDR, 1)] == 9
+
+    def test_callee_writes_rolled_back_on_its_revert(self):
+        callee = "PUSH 9 PUSH 1 SSTORE PUSH0 PUSH0 REVERT"
+        caller = call_snippet() + "STOP"
+        result, _ = run(build_world(caller, callee))
+        assert result.success
+        assert storage_key(CALLEE_ADDR, 1) not in result.write_set
+
+    def test_callee_writes_its_own_storage_namespace(self):
+        callee = "PUSH 9 PUSH 1 SSTORE STOP"
+        caller = "PUSH 5 PUSH 1 SSTORE " + call_snippet() + "STOP"
+        result, _ = run(build_world(caller, callee))
+        assert result.write_set[storage_key(CALLER_ADDR, 1)] == 5
+        assert result.write_set[storage_key(CALLEE_ADDR, 1)] == 9
+
+
+class TestStaticCall:
+    def test_staticcall_reads(self):
+        callee = f"PUSH 1 SLOAD {RETURN_TOP}"
+        caller = call_snippet(opcode="STATICCALL") + f"POP PUSH0 MLOAD {RETURN_TOP}"
+        world = build_world(caller, callee)
+        world.set_storage(CALLEE_ADDR, 1, 42)
+        result, _ = run(world)
+        assert int.from_bytes(result.return_data, "big") == 42
+
+    def test_staticcall_blocks_sstore(self):
+        callee = "PUSH 9 PUSH 1 SSTORE STOP"
+        caller = call_snippet(opcode="STATICCALL") + RETURN_TOP
+        result, _ = run(build_world(caller, callee))
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 0  # callee failed
+
+    def test_staticcall_blocks_log(self):
+        callee = "PUSH0 PUSH0 LOG0 STOP"
+        caller = call_snippet(opcode="STATICCALL") + RETURN_TOP
+        result, _ = run(build_world(caller, callee))
+        assert int.from_bytes(result.return_data, "big") == 0
+
+
+class TestReturnData:
+    def test_returndatasize_and_copy(self):
+        callee = f"PUSH 0xBEEF {RETURN_TOP}"
+        caller = (
+            call_snippet(ret_size=0)
+            + f"""
+            POP
+            RETURNDATASIZE PUSH 64 MSTORE          ; record size at 64
+            PUSH 32 PUSH0 PUSH0 RETURNDATACOPY     ; copy data to 0
+            PUSH0 MLOAD PUSH 96 MSTORE
+            PUSH 64 PUSH 64 RETURN                 ; return [size, data]
+            """
+        )
+        result, _ = run(build_world(caller, callee))
+        assert result.success
+        size = int.from_bytes(result.return_data[:32], "big")
+        data = int.from_bytes(result.return_data[32:], "big")
+        assert size == 32
+        assert data == 0xBEEF
+
+    def test_returndatacopy_out_of_bounds_fails(self):
+        callee = "STOP"  # empty return data
+        caller = call_snippet() + "PUSH 1 PUSH0 PUSH0 RETURNDATACOPY STOP"
+        result, _ = run(build_world(caller, callee))
+        assert not result.success
+
+    def test_ret_buffer_truncates_long_return(self):
+        callee = (
+            "PUSH 0xAA PUSH0 MSTORE PUSH 0xBB PUSH 32 MSTORE "
+            "PUSH 64 PUSH0 RETURN"
+        )
+        # Only 32 bytes of return buffer: second word must not be copied.
+        caller = call_snippet(ret_size=32) + f"POP PUSH 32 MLOAD {RETURN_TOP}"
+        result, _ = run(build_world(caller, callee))
+        assert int.from_bytes(result.return_data, "big") == 0
+
+
+class TestGasFlow:
+    def test_callee_gets_bounded_gas(self):
+        # Callee burns everything it is given; caller must still finish.
+        callee = "loop: JUMPDEST PUSH @loop JUMP"
+        caller = call_snippet() + RETURN_TOP
+        result, _ = run(build_world(caller, callee), gas_limit=200_000)
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_unused_callee_gas_is_refunded(self):
+        callee = "STOP"
+        caller = call_snippet() + f"GAS {RETURN_TOP}"
+        result, _ = run(build_world(caller, callee), gas_limit=400_000)
+        remaining = int.from_bytes(result.return_data, "big")
+        assert remaining > 300_000 - 50_000  # most of the allowance survives

@@ -1,0 +1,64 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.txs == 160
+        assert args.threads == 16
+
+    def test_experiment_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nonsense"])
+
+    def test_all_experiment_names_parse(self):
+        from repro.cli import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_compare_small(self, capsys):
+        code = main(
+            ["compare", "--txs", "12", "--accounts", "60", "--threads", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallelevm" in out
+        assert "speedup" in out
+
+    def test_inspect_prints_a_log(self, capsys):
+        code = main(["inspect", "--tx-index", "0", "--accounts", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ILOAD" in out
+        assert "redo" in out
+
+    def test_replay_validates_roots(self, capsys):
+        code = main(
+            ["replay", "--count", "1", "--txs", "10", "--accounts", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "root" in out
+
+    def test_replay_deterministic(self, capsys):
+        argv = ["replay", "--count", "1", "--txs", "8", "--accounts", "40"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,238 @@
+"""The workload contracts: ERC20, AMM pair, crowdfund — full behaviour."""
+
+from __future__ import annotations
+
+from repro.contracts import (
+    allowance_slot,
+    balance_slot,
+    encode_call,
+)
+from repro.contracts.abi import event_topic
+from repro.contracts.amm import RESERVE0_SLOT, RESERVE1_SLOT
+from repro.contracts.crowdfund import TOTAL_RAISED_SLOT, contribution_slot
+from repro.evm.message import Transaction
+from repro.primitives import address_to_word, make_address
+from repro.state.keys import storage_key
+
+from ..conftest import transfer_from_tx, transfer_tx
+
+
+def call(sender, to, sig, *args, gas=400_000):
+    return Transaction(
+        sender=sender, to=to, data=encode_call(sig, *args), gas_limit=gas
+    )
+
+
+class TestERC20Transfer:
+    def test_moves_balance(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, transfer_tx(alice, token, bob, 300))
+        assert result.success
+        assert result.write_set[storage_key(token, balance_slot(alice))] == 700
+        assert result.write_set[storage_key(token, balance_slot(bob))] == 1300
+
+    def test_returns_true(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, transfer_tx(alice, token, bob, 1))
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_emits_transfer_event(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, transfer_tx(alice, token, bob, 300))
+        (log,) = result.logs
+        assert log.address == token
+        assert log.topics[0] == event_topic("Transfer(address,address,uint256)")
+        assert log.topics[1] == address_to_word(alice)
+        assert log.topics[2] == address_to_word(bob)
+        assert int.from_bytes(log.data, "big") == 300
+
+    def test_insufficient_balance_reverts(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, transfer_tx(alice, token, bob, 1001))
+        assert not result.success
+        assert storage_key(token, balance_slot(bob)) not in result.write_set
+
+    def test_exact_balance_succeeds(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, transfer_tx(alice, token, bob, 1000))
+        assert result.success
+        assert result.write_set[storage_key(token, balance_slot(alice))] == 0
+
+    def test_self_transfer_conserves_balance(self, world, run_tx, token, alice):
+        result = run_tx(world, transfer_tx(alice, token, alice, 100))
+        assert result.success
+        # from-debit then to-credit on the same slot nets to the original.
+        assert result.write_set[storage_key(token, balance_slot(alice))] == 1000
+
+
+class TestERC20Approvals:
+    def test_approve_sets_allowance(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, call(alice, token, "approve(address,uint256)", bob, 55))
+        assert result.success
+        assert result.write_set[storage_key(token, allowance_slot(alice, bob))] == 55
+
+    def test_approve_emits_approval_event(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, call(alice, token, "approve(address,uint256)", bob, 55))
+        (log,) = result.logs
+        assert log.topics[0] == event_topic("Approval(address,address,uint256)")
+
+    def test_allowance_view(self, world, run_tx, token, alice, bob):
+        world.set_storage(token, allowance_slot(alice, bob), 77)
+        result = run_tx(
+            world, call(bob, token, "allowance(address,address)", alice, bob)
+        )
+        assert int.from_bytes(result.return_data, "big") == 77
+
+    def test_transfer_from_spends_allowance(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 500)
+        result = run_tx(world, transfer_from_tx(bob, token, alice, carol, 200))
+        assert result.success
+        assert result.write_set[storage_key(token, allowance_slot(alice, bob))] == 300
+        assert result.write_set[storage_key(token, balance_slot(alice))] == 800
+        assert result.write_set[storage_key(token, balance_slot(carol))] == 1200
+
+    def test_transfer_from_without_allowance_reverts(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        result = run_tx(world, transfer_from_tx(bob, token, alice, carol, 200))
+        assert not result.success
+
+    def test_transfer_from_insufficient_allowance_reverts(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 100)
+        result = run_tx(world, transfer_from_tx(bob, token, alice, carol, 200))
+        assert not result.success
+
+    def test_transfer_from_insufficient_balance_reverts(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 10**9)
+        result = run_tx(world, transfer_from_tx(bob, token, alice, carol, 5000))
+        assert not result.success
+
+
+class TestERC20Views:
+    def test_balance_of(self, world, run_tx, token, alice, bob):
+        result = run_tx(world, call(bob, token, "balanceOf(address)", alice))
+        assert int.from_bytes(result.return_data, "big") == 1000
+
+    def test_total_supply(self, world, run_tx, token, alice):
+        result = run_tx(world, call(alice, token, "totalSupply()"))
+        assert int.from_bytes(result.return_data, "big") == 3000
+
+    def test_unknown_selector_reverts(self, world, run_tx, token, alice):
+        tx = Transaction(
+            sender=alice, to=token, data=b"\xde\xad\xbe\xef", gas_limit=100_000
+        )
+        result = run_tx(world, tx)
+        assert not result.success
+
+
+class TestAMM:
+    def _swap(self, run_tx, world, pair, sender, amount, zero_for_one):
+        tx = call(
+            sender,
+            pair,
+            "swap(uint256,uint256,address)",
+            amount,
+            1 if zero_for_one else 0,
+            sender,
+            gas=800_000,
+        )
+        return run_tx(world, tx)
+
+    def test_swap_constant_product_pricing(self, amm_world, run_tx, alice):
+        world, pair, token0, token1 = amm_world
+        amount_in = 10**6
+        reserve = 10**12
+        result = self._swap(run_tx, world, pair, alice, amount_in, True)
+        assert result.success, result.error
+        expected = (amount_in * 997 * reserve) // (reserve * 1000 + amount_in * 997)
+        assert int.from_bytes(result.return_data, "big") == expected
+
+    def test_swap_updates_reserves(self, amm_world, run_tx, alice):
+        world, pair, token0, token1 = amm_world
+        amount_in = 10**6
+        result = self._swap(run_tx, world, pair, alice, amount_in, True)
+        out = int.from_bytes(result.return_data, "big")
+        assert result.write_set[storage_key(pair, RESERVE0_SLOT)] == 10**12 + amount_in
+        assert result.write_set[storage_key(pair, RESERVE1_SLOT)] == 10**12 - out
+
+    def test_swap_moves_token_balances(self, amm_world, run_tx, alice):
+        world, pair, token0, token1 = amm_world
+        result = self._swap(run_tx, world, pair, alice, 10**6, True)
+        out = int.from_bytes(result.return_data, "big")
+        assert (
+            result.write_set[storage_key(token0, balance_slot(alice))]
+            == 10**9 - 10**6
+        )
+        assert (
+            result.write_set[storage_key(token1, balance_slot(alice))]
+            == 10**9 + out
+        )
+
+    def test_swap_opposite_direction(self, amm_world, run_tx, alice):
+        world, pair, token0, token1 = amm_world
+        result = self._swap(run_tx, world, pair, alice, 10**6, False)
+        assert result.success
+        out = int.from_bytes(result.return_data, "big")
+        assert result.write_set[storage_key(pair, RESERVE1_SLOT)] == 10**12 + 10**6
+        assert result.write_set[storage_key(pair, RESERVE0_SLOT)] == 10**12 - out
+
+    def test_swap_without_allowance_reverts(self, amm_world, run_tx, bob):
+        world, pair, token0, token1 = amm_world
+        result = self._swap(run_tx, world, pair, bob, 10**6, True)
+        assert not result.success
+
+    def test_swap_preserves_k_with_fee(self, amm_world, run_tx, alice):
+        world, pair, _, _ = amm_world
+        result = self._swap(run_tx, world, pair, alice, 10**6, True)
+        r0 = result.write_set[storage_key(pair, RESERVE0_SLOT)]
+        r1 = result.write_set[storage_key(pair, RESERVE1_SLOT)]
+        # With the 0.3% fee, k must not decrease.
+        assert r0 * r1 >= 10**24
+
+    def test_get_reserves(self, amm_world, run_tx, alice):
+        world, pair, _, _ = amm_world
+        result = run_tx(world, call(alice, pair, "getReserves()"))
+        assert result.success
+        assert int.from_bytes(result.return_data[:32], "big") == 10**12
+        assert int.from_bytes(result.return_data[32:], "big") == 10**12
+
+    def test_swap_pays_two_transfer_events(self, amm_world, run_tx, alice):
+        world, pair, _, _ = amm_world
+        result = self._swap(run_tx, world, pair, alice, 10**6, True)
+        transfer_topic = event_topic("Transfer(address,address,uint256)")
+        assert sum(1 for log in result.logs if log.topics[0] == transfer_topic) == 2
+
+
+class TestCrowdfund:
+    def test_contribute_updates_both_slots(self, world, run_tx, alice):
+        from repro.contracts import Crowdfund
+
+        fund = make_address(0xF00D)
+        world.set_code(fund, Crowdfund)
+        result = run_tx(world, call(alice, fund, "contribute(uint256)", 250))
+        assert result.success
+        assert result.write_set[storage_key(fund, TOTAL_RAISED_SLOT)] == 250
+        assert (
+            result.write_set[storage_key(fund, contribution_slot(alice))] == 250
+        )
+
+    def test_contributions_accumulate(self, world, run_tx, alice, bob):
+        from repro.contracts import Crowdfund
+
+        fund = make_address(0xF00D)
+        world.set_code(fund, Crowdfund)
+        world.set_storage(fund, TOTAL_RAISED_SLOT, 100)
+        world.set_storage(fund, contribution_slot(alice), 40)
+        result = run_tx(world, call(alice, fund, "contribute(uint256)", 10))
+        assert result.write_set[storage_key(fund, TOTAL_RAISED_SLOT)] == 110
+        assert result.write_set[storage_key(fund, contribution_slot(alice))] == 50
+
+    def test_total_raised_view(self, world, run_tx, alice):
+        from repro.contracts import Crowdfund
+
+        fund = make_address(0xF00D)
+        world.set_code(fund, Crowdfund)
+        world.set_storage(fund, TOTAL_RAISED_SLOT, 777)
+        result = run_tx(world, call(alice, fund, "totalRaised()"))
+        assert int.from_bytes(result.return_data, "big") == 777

@@ -1,0 +1,100 @@
+"""Keccak-256 vectors and the Solidity storage-slot derivation."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    keccak256,
+    keccak256_cached,
+    storage_slot_for_mapping,
+)
+
+# Canonical Keccak-256 (pre-NIST padding) test vectors: the empty-string
+# digest, the FIPS "abc" Keccak digest, and Ethereum's most famous
+# selector/topic constants.
+VECTORS = {
+    b"": "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470",
+    b"abc": "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45",
+    b"Transfer(address,address,uint256)": (
+        "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+    ),
+}
+
+
+class TestKeccakVectors:
+    def test_known_digests(self):
+        for message, digest in VECTORS.items():
+            assert keccak256(message).hex() == digest
+
+    def test_function_selector_derivation(self):
+        # The most recognisable constants in all of Ethereum.
+        assert keccak256(b"transfer(address,uint256)")[:4].hex() == "a9059cbb"
+        assert keccak256(b"approve(address,uint256)")[:4].hex() == "095ea7b3"
+        assert keccak256(b"balanceOf(address)")[:4].hex() == "70a08231"
+        assert keccak256(b"transferFrom(address,address,uint256)")[:4].hex() == (
+            "23b872dd"
+        )
+
+    def test_rate_boundary_minus_one(self):
+        # 135 bytes: the pad is exactly two bytes (0x01 ... 0x80).
+        assert len(keccak256(b"x" * 135)) == 32
+
+    def test_rate_boundary_exact(self):
+        # 136 bytes = one full rate block; the pad occupies a whole block.
+        assert len(keccak256(b"\x00" * 136)) == 32
+        assert keccak256(b"\x00" * 136) != keccak256(b"\x00" * 135)
+
+    def test_rate_boundary_plus_one(self):
+        assert len(keccak256(b"x" * 137)) == 32
+
+    def test_multi_block_input(self):
+        assert len(keccak256(b"y" * 1000)) == 32
+
+
+class TestCachedKeccak:
+    def test_matches_uncached(self):
+        for size in (0, 1, 32, 64, 127, 128, 129, 500):
+            data = bytes(range(256))[:size] if size <= 256 else b"z" * size
+            assert keccak256_cached(data) == keccak256(data)
+
+    def test_cache_hit_returns_same_digest(self):
+        data = b"cache-me"
+        assert keccak256_cached(data) == keccak256_cached(data)
+
+
+class TestStorageSlots:
+    def test_mapping_slot_is_keccak_of_key_and_slot(self):
+        key = (7).to_bytes(20, "big")
+        expected = int.from_bytes(
+            keccak256(key.rjust(32, b"\x00") + (1).to_bytes(32, "big")), "big"
+        )
+        assert storage_slot_for_mapping(key, 1) == expected
+
+    def test_distinct_keys_distinct_slots(self):
+        a = storage_slot_for_mapping(b"\x01" * 20, 1)
+        b = storage_slot_for_mapping(b"\x02" * 20, 1)
+        assert a != b
+
+    def test_distinct_base_slots_distinct_slots(self):
+        key = b"\x01" * 20
+        assert storage_slot_for_mapping(key, 1) != storage_slot_for_mapping(key, 2)
+
+
+@given(st.binary(max_size=600))
+def test_digest_is_deterministic_and_32_bytes(data):
+    d1, d2 = keccak256(data), keccak256(data)
+    assert d1 == d2
+    assert len(d1) == 32
+
+
+@given(st.binary(max_size=200))
+def test_cached_always_matches_plain(data):
+    assert keccak256_cached(data) == keccak256(data)
+
+
+@given(st.binary(min_size=1, max_size=100))
+def test_single_bit_flip_changes_digest(data):
+    flipped = bytes([data[0] ^ 0x01]) + data[1:]
+    assert keccak256(data) != keccak256(flipped)

@@ -1,0 +1,130 @@
+"""Storage substrates: LRU cache, simulated-latency store, prefetch warming."""
+
+from __future__ import annotations
+
+from repro.db import LRUCache, MemoryKV, SimulatedDiskKV
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == 0.5
+
+    def test_clear_and_reset(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        cache.reset_stats()
+        assert "a" not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestMemoryKV:
+    def test_reads_are_free(self):
+        kv = MemoryKV()
+        kv.write("k", 42)
+        sample = kv.read("k")
+        assert sample.value == 42
+        assert sample.latency_us == 0.0
+
+    def test_default(self):
+        assert MemoryKV().read("missing", default=7).value == 7
+
+
+class TestSimulatedDiskKV:
+    def test_first_read_is_cold(self):
+        kv = SimulatedDiskKV(disk_latency_us=20.0, cache_latency_us=0.5)
+        kv.write("k", 1)
+        sample = kv.read("k")
+        assert sample.latency_us == 20.0
+        assert not sample.cache_hit
+
+    def test_second_read_is_warm(self):
+        kv = SimulatedDiskKV(disk_latency_us=20.0, cache_latency_us=0.5)
+        kv.write("k", 1)
+        kv.read("k")
+        sample = kv.read("k")
+        assert sample.latency_us == 0.5
+        assert sample.cache_hit
+
+    def test_missing_key_returns_default_and_caches(self):
+        kv = SimulatedDiskKV()
+        assert kv.read("missing", default=0).value == 0
+        assert kv.read("missing", default=0).cache_hit
+
+    def test_write_updates_cached_value(self):
+        kv = SimulatedDiskKV()
+        kv.write("k", 1)
+        kv.read("k")
+        kv.write("k", 2)
+        assert kv.read("k").value == 2
+
+    def test_warm_makes_reads_cache_hits(self):
+        kv = SimulatedDiskKV(disk_latency_us=20.0, cache_latency_us=0.5)
+        kv.write("a", 1)
+        warmed = kv.warm(["a", "b"])
+        assert warmed == 2
+        assert kv.read("a").cache_hit
+        # Warming a key with no stored value must not shadow the default.
+        assert kv.read("b", default=99).value == 99
+
+    def test_warm_is_idempotent(self):
+        kv = SimulatedDiskKV()
+        kv.write("a", 1)
+        kv.warm(["a"])
+        assert kv.warm(["a"]) == 0
+
+    def test_read_counters(self):
+        kv = SimulatedDiskKV()
+        kv.write("a", 1)
+        kv.read("a")
+        kv.read("a")
+        assert kv.disk_reads == 1
+        assert kv.cache_reads == 1
+        kv.reset_stats()
+        assert kv.disk_reads == 0
+
+    def test_cache_eviction_causes_recold(self):
+        kv = SimulatedDiskKV(cache_capacity=1)
+        kv.write("a", 1)
+        kv.write("b", 2)
+        kv.read("a")
+        kv.read("b")  # evicts a
+        assert not kv.read("a").cache_hit

@@ -1,0 +1,250 @@
+"""DELEGATECALL, the proxy pattern, and the newer environment opcodes."""
+
+from __future__ import annotations
+
+from repro.contracts import (
+    ERC20,
+    IMPLEMENTATION_SLOT,
+    Proxy,
+    balance_slot,
+    encode_call,
+)
+from repro.contracts.abi import event_topic
+from repro.core.redo import redo
+from repro.core.tracer import SSATracer
+from repro.crypto import keccak256
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import execute_transaction
+from repro.evm.message import BlockEnv, Transaction
+from repro.primitives import address_to_word, make_address
+from repro.state import StateView, WorldState
+from repro.state.keys import storage_key
+
+IMPL = make_address(1)
+PROXY = make_address(2)
+ALICE = make_address(100)
+BOB = make_address(101)
+ETHER = 10**18
+
+RETURN_TOP = "PUSH0 MSTORE PUSH 32 PUSH0 RETURN"
+
+
+def proxied_erc20_world() -> WorldState:
+    world = WorldState()
+    world.set_code(IMPL, ERC20)
+    world.set_code(PROXY, Proxy)
+    world.set_storage(PROXY, IMPLEMENTATION_SLOT, address_to_word(IMPL))
+    world.set_storage(PROXY, balance_slot(ALICE), 1_000)
+    world.set_balance(ALICE, 10 * ETHER)
+    return world
+
+
+def run(world, tx, tracer=None):
+    view = StateView(world)
+    return execute_transaction(view, tx, BlockEnv(), tracer=tracer)
+
+
+def transfer(amount: int) -> Transaction:
+    return Transaction(
+        sender=ALICE,
+        to=PROXY,
+        data=encode_call("transfer(address,uint256)", BOB, amount),
+        gas_limit=400_000,
+    )
+
+
+class TestProxiedERC20:
+    def test_storage_lives_on_the_proxy(self):
+        result = run(proxied_erc20_world(), transfer(300))
+        assert result.success
+        assert result.write_set[storage_key(PROXY, balance_slot(ALICE))] == 700
+        assert result.write_set[storage_key(PROXY, balance_slot(BOB))] == 300
+        assert not any(
+            key[0] == "s" and key[1] == IMPL for key in result.write_set
+        )
+
+    def test_return_data_bubbles_through(self):
+        result = run(proxied_erc20_world(), transfer(1))
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_event_address_is_the_proxy(self):
+        result = run(proxied_erc20_world(), transfer(10))
+        (log,) = result.logs
+        assert log.address == PROXY
+        assert log.topics[0] == event_topic("Transfer(address,address,uint256)")
+        assert log.topics[1] == address_to_word(ALICE)
+
+    def test_implementation_revert_bubbles(self):
+        result = run(proxied_erc20_world(), transfer(5_000))  # insufficient
+        assert not result.success
+
+    def test_balance_of_through_proxy(self):
+        world = proxied_erc20_world()
+        tx = Transaction(
+            sender=ALICE,
+            to=PROXY,
+            data=encode_call("balanceOf(address)", ALICE),
+            gas_limit=300_000,
+        )
+        result = run(world, tx)
+        assert int.from_bytes(result.return_data, "big") == 1_000
+
+    def test_ssa_log_tracks_through_delegatecall(self):
+        tracer = SSATracer()
+        result = run(proxied_erc20_world(), transfer(300), tracer=tracer)
+        assert result.success
+        assert tracer.log.redoable
+        # The implementation slot is a type-I read; the delegate target is a
+        # storage-derived value, so a data-flow guard must exist for it.
+        assert storage_key(PROXY, IMPLEMENTATION_SLOT) in tracer.log.direct_reads
+
+    def test_redo_through_proxy(self):
+        world = proxied_erc20_world()
+        tracer = SSATracer()
+        result = run(world, transfer(300), tracer=tracer)
+        key = storage_key(PROXY, balance_slot(ALICE))
+        outcome = redo(tracer.log, {key: 800})
+        assert outcome.success
+        assert outcome.updated_writes[key] == 500
+
+    def test_redo_aborts_if_implementation_was_upgraded(self):
+        """A conflicting upgrade of the implementation address violates the
+        data-flow guard on the delegate target: the redo must decline."""
+        world = proxied_erc20_world()
+        tracer = SSATracer()
+        run(world, transfer(300), tracer=tracer)
+        outcome = redo(
+            tracer.log,
+            {storage_key(PROXY, IMPLEMENTATION_SLOT): address_to_word(BOB)},
+        )
+        assert not outcome.success
+
+    def test_caller_preserved_through_delegate(self):
+        """msg.sender inside the implementation is the original caller —
+        that is why balances[CALLER] debits ALICE, not the proxy."""
+        result = run(proxied_erc20_world(), transfer(10))
+        assert result.write_set[storage_key(PROXY, balance_slot(ALICE))] == 990
+
+
+class TestDelegateSemantics:
+    def _world_with(self, caller_src: str, callee_src: str) -> WorldState:
+        world = WorldState()
+        world.set_code(PROXY, assemble(caller_src))
+        world.set_code(IMPL, assemble(callee_src))
+        world.set_balance(ALICE, 10 * ETHER)
+        return world
+
+    def _delegate_snippet(self) -> str:
+        return (
+            f"PUSH 32 PUSH0 PUSH0 PUSH0 "
+            f"PUSH {address_to_word(IMPL)} PUSH 200000 DELEGATECALL"
+        )
+
+    def test_delegate_writes_callers_storage(self):
+        callee = "PUSH 9 PUSH 1 SSTORE STOP"
+        caller = self._delegate_snippet() + " STOP"
+        world = self._world_with(caller, callee)
+        result = run(world, Transaction(sender=ALICE, to=PROXY, gas_limit=400_000))
+        assert result.write_set[storage_key(PROXY, 1)] == 9
+        assert storage_key(IMPL, 1) not in result.write_set
+
+    def test_delegate_sees_callers_address(self):
+        callee = f"ADDRESS {RETURN_TOP}"
+        caller = self._delegate_snippet() + f" POP PUSH0 MLOAD {RETURN_TOP}"
+        world = self._world_with(caller, callee)
+        result = run(world, Transaction(sender=ALICE, to=PROXY, gas_limit=400_000))
+        assert int.from_bytes(result.return_data, "big") == address_to_word(PROXY)
+
+    def test_delegate_preserves_callvalue(self):
+        callee = f"CALLVALUE {RETURN_TOP}"
+        caller = self._delegate_snippet() + f" POP PUSH0 MLOAD {RETURN_TOP}"
+        world = self._world_with(caller, callee)
+        result = run(
+            world, Transaction(sender=ALICE, to=PROXY, value=77, gas_limit=400_000)
+        )
+        assert int.from_bytes(result.return_data, "big") == 77
+
+    def test_delegate_inherits_static_protection(self):
+        # STATICCALL -> (delegatecalling proxy) -> SSTORE must fail.
+        writer = "PUSH 9 PUSH 1 SSTORE STOP"
+        proxy_like = self._delegate_snippet() + f" {RETURN_TOP}"
+        outer = make_address(3)
+        world = self._world_with(proxy_like, writer)
+        world.set_code(
+            outer,
+            assemble(
+                # Return the proxy's *payload* (the DELEGATECALL status it
+                # observed), not the outer STATICCALL's own success flag.
+                f"PUSH 32 PUSH0 PUSH0 PUSH0 PUSH {address_to_word(PROXY)} "
+                f"PUSH 300000 STATICCALL POP PUSH0 MLOAD {RETURN_TOP}"
+            ),
+        )
+        result = run(world, Transaction(sender=ALICE, to=outer, gas_limit=500_000))
+        assert result.success
+        # The writer's SSTORE raised WriteProtection inside the delegate
+        # frame: the proxy saw DELEGATECALL push 0.
+        assert int.from_bytes(result.return_data, "big") == 0
+        assert storage_key(PROXY, 1) not in result.write_set
+
+
+class TestNewEnvOpcodes:
+    ENV = BlockEnv(number=14_000_000)
+
+    def _run_code(self, src: str, setup=None):
+        world = WorldState()
+        world.set_code(PROXY, assemble(src))
+        world.set_balance(ALICE, 10 * ETHER)
+        if setup:
+            setup(world)
+        view = StateView(world)
+        tx = Transaction(sender=ALICE, to=PROXY, gas_limit=400_000)
+        return execute_transaction(view, tx, self.ENV)
+
+    def test_extcodesize(self):
+        def setup(world):
+            world.set_code(IMPL, b"\x00" * 123)
+
+        result = self._run_code(
+            f"PUSH {address_to_word(IMPL)} EXTCODESIZE {RETURN_TOP}", setup
+        )
+        assert int.from_bytes(result.return_data, "big") == 123
+
+    def test_extcodesize_of_empty_account(self):
+        result = self._run_code(
+            f"PUSH {address_to_word(BOB)} EXTCODESIZE {RETURN_TOP}"
+        )
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_extcodehash(self):
+        code = b"\x60\x00"
+
+        def setup(world):
+            world.set_code(IMPL, code)
+
+        result = self._run_code(
+            f"PUSH {address_to_word(IMPL)} EXTCODEHASH {RETURN_TOP}", setup
+        )
+        assert result.return_data == keccak256(code)
+
+    def test_extcodehash_of_empty_account_is_zero(self):
+        result = self._run_code(
+            f"PUSH {address_to_word(BOB)} EXTCODEHASH {RETURN_TOP}"
+        )
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_blockhash_recent(self):
+        number = self.ENV.number
+        result = self._run_code(f"PUSH {number - 1} BLOCKHASH {RETURN_TOP}")
+        assert int.from_bytes(result.return_data, "big") != 0
+
+    def test_blockhash_is_deterministic(self):
+        number = self.ENV.number
+        a = self._run_code(f"PUSH {number - 7} BLOCKHASH {RETURN_TOP}")
+        b = self._run_code(f"PUSH {number - 7} BLOCKHASH {RETURN_TOP}")
+        assert a.return_data == b.return_data
+
+    def test_blockhash_too_old_or_future_is_zero(self):
+        number = self.ENV.number
+        for probe in (number, number + 5, number - 400, 0):
+            result = self._run_code(f"PUSH {probe} BLOCKHASH {RETURN_TOP}")
+            assert int.from_bytes(result.return_data, "big") == 0, probe

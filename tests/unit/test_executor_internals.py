@@ -1,0 +1,216 @@
+"""Scheduler-level behaviour of the block executors on crafted mini-blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrency import (
+    BlockSTMExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    TwoPhaseExecutor,
+)
+from repro.contracts import ERC20, allowance_slot, balance_slot, encode_call
+from repro.core.executor import ParallelEVMExecutor
+from repro.evm.message import BlockEnv, Transaction
+from repro.primitives import make_address
+from repro.state.world import WorldState
+from repro.workloads.block import Block
+
+TOKEN = make_address(1)
+OWNER = make_address(50)
+USERS = [make_address(100 + i) for i in range(6)]
+ETHER = 10**18
+ENV = BlockEnv(coinbase=make_address(0xC0FFEE))
+
+
+def token_world(owner_balance: int = 1_000) -> WorldState:
+    world = WorldState()
+    world.set_code(TOKEN, ERC20)
+    world.set_storage(TOKEN, balance_slot(OWNER), owner_balance)
+    for i, user in enumerate(USERS):
+        world.set_balance(user, 10 * ETHER)
+        world.set_storage(TOKEN, balance_slot(user), 1_000)
+        world.set_storage(TOKEN, allowance_slot(OWNER, user), 10**9)
+    return world
+
+
+def drain_tx(spender_index: int, amount: int) -> Transaction:
+    """transferFrom(OWNER -> spender, amount) — conflicts on OWNER's balance."""
+    spender = USERS[spender_index]
+    return Transaction(
+        sender=spender,
+        to=TOKEN,
+        data=encode_call(
+            "transferFrom(address,address,uint256)", OWNER, spender, amount
+        ),
+        gas_limit=300_000,
+    )
+
+
+def disjoint_tx(index: int) -> Transaction:
+    """Transfers over pairwise-disjoint (sender, recipient) account pairs."""
+    sender = USERS[2 * index]
+    recipient = USERS[2 * index + 1]
+    return Transaction(
+        sender=sender,
+        to=TOKEN,
+        data=encode_call("transfer(address,uint256)", recipient, 1),
+        gas_limit=300_000,
+    )
+
+
+def run(executor, world, txs):
+    block = Block(number=1, txs=txs, env=ENV)
+    return executor.execute_block(world, block.txs, block.env)
+
+
+class TestSerialExecutor:
+    def test_single_thread_reported(self):
+        result = run(SerialExecutor(), token_world(), [disjoint_tx(0)])
+        assert result.threads == 1
+
+    def test_fee_settled_to_coinbase(self):
+        from repro.state.keys import balance_key
+
+        result = run(SerialExecutor(), token_world(), [disjoint_tx(0)])
+        fee = result.tx_results[0].gas_used * 1
+        assert result.writes[balance_key(ENV.coinbase)] == fee
+
+
+class TestOCCInternals:
+    def test_conflict_free_block_never_aborts(self):
+        result = run(
+            OCCExecutor(threads=4), token_world(), [disjoint_tx(i) for i in range(3)]
+        )
+        assert result.stats["aborts"] == 0
+        assert result.stats["executions"] == 3
+
+    def test_conflicting_pair_aborts_the_later_tx(self):
+        result = run(
+            OCCExecutor(threads=4),
+            token_world(),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        # Both speculate against the pre-block state; tx1 must re-execute.
+        assert result.stats["aborts"] == 1
+        assert result.stats["executions"] == 3
+
+    def test_single_thread_occ_sees_no_conflicts(self):
+        # With one worker, execution order degenerates to serial: each tx
+        # speculates against a fully committed prefix.
+        result = run(
+            OCCExecutor(threads=1),
+            token_world(),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        assert result.stats["aborts"] == 0
+
+
+class TestParallelEVMInternals:
+    def test_conflicting_pair_resolved_by_redo(self):
+        result = run(
+            ParallelEVMExecutor(threads=4),
+            token_world(),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        stats = result.stats
+        assert stats["conflicting_txs"] == 1
+        assert stats["redo_successes"] == 1
+        assert stats["full_aborts"] == 0
+        assert stats["executions"] == 2  # nobody re-executed fully
+
+    def test_guard_violation_falls_back_to_reexecution(self):
+        # OWNER has 15 tokens; both txs take 10: the second's balance guard
+        # fails during redo (the §3.2 abort case) and must re-execute.
+        result = run(
+            ParallelEVMExecutor(threads=4),
+            token_world(owner_balance=15),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        stats = result.stats
+        assert stats["redo_failures"] == 1
+        assert stats["full_aborts"] == 1
+        assert stats["executions"] == 3
+        # The fallback re-execution reverted (insufficient balance), exactly
+        # as serial execution would have.
+        serial = run(
+            SerialExecutor(),
+            token_world(owner_balance=15),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        assert [r.success for r in result.tx_results] == [
+            r.success for r in serial.tx_results
+        ] == [True, False]
+        assert result.writes == serial.writes
+
+    def test_log_statistics_collected(self):
+        result = run(
+            ParallelEVMExecutor(threads=4), token_world(), [disjoint_tx(0)]
+        )
+        assert result.stats["log_entries_total"] > 0
+        assert result.stats["instructions_total"] > 0
+
+    def test_preexecute_skips_read_phase_costs(self):
+        txs = [disjoint_tx(i) for i in range(3)]
+        normal = run(ParallelEVMExecutor(threads=4), token_world(), txs)
+        pre = run(
+            ParallelEVMExecutor(threads=4, preexecute=True), token_world(), txs
+        )
+        assert pre.writes == normal.writes
+        assert pre.makespan_us < normal.makespan_us
+
+
+class TestBlockSTMInternals:
+    def test_conflict_free_block_executes_once_each(self):
+        result = run(
+            BlockSTMExecutor(threads=4),
+            token_world(),
+            [disjoint_tx(i) for i in range(3)],
+        )
+        assert result.stats["aborts"] == 0
+        assert result.stats["executions"] == 3
+
+    def test_conflicting_pair_triggers_abort_or_suspension(self):
+        result = run(
+            BlockSTMExecutor(threads=4),
+            token_world(),
+            [drain_tx(0, 10), drain_tx(1, 10)],
+        )
+        stats = result.stats
+        assert stats["aborts"] + stats["estimate_suspensions"] >= 1
+        assert stats["executions"] >= 3
+
+
+class TestTwoPhaseInternals:
+    def test_survivor_accounting(self):
+        result = run(
+            TwoPhaseExecutor(threads=4),
+            token_world(),
+            [drain_tx(0, 10), drain_tx(1, 10), disjoint_tx(2)],
+        )
+        assert result.stats["survivors"] >= 1
+        assert result.stats["discarded"] >= 1
+        assert result.stats["survivors"] + result.stats["discarded"] == 3
+
+
+class TestEmptyAndTinyBlocks:
+    @pytest.mark.parametrize(
+        "executor_cls",
+        [SerialExecutor, OCCExecutor, BlockSTMExecutor, TwoPhaseExecutor,
+         ParallelEVMExecutor],
+    )
+    def test_empty_block(self, executor_cls):
+        result = run(executor_cls(threads=4), token_world(), [])
+        assert result.tx_results == []
+        assert result.gas_used == 0
+
+    @pytest.mark.parametrize(
+        "executor_cls",
+        [SerialExecutor, OCCExecutor, BlockSTMExecutor, TwoPhaseExecutor,
+         ParallelEVMExecutor],
+    )
+    def test_single_tx_block(self, executor_cls):
+        serial = run(SerialExecutor(), token_world(), [disjoint_tx(0)])
+        result = run(executor_cls(threads=4), token_world(), [disjoint_tx(0)])
+        assert result.writes == serial.writes

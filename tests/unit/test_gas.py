@@ -1,0 +1,105 @@
+"""The gas schedule's dynamic rules."""
+
+from __future__ import annotations
+
+from repro.evm import gas as G
+
+
+class TestIntrinsicGas:
+    def test_empty_data(self):
+        assert G.intrinsic_gas(b"") == 21_000
+
+    def test_zero_bytes_cheaper_than_nonzero(self):
+        assert G.intrinsic_gas(b"\x00") == 21_004
+        assert G.intrinsic_gas(b"\x01") == 21_016
+
+    def test_mixed(self):
+        assert G.intrinsic_gas(b"\x00\x01\x00") == 21_000 + 4 + 16 + 4
+
+
+class TestMemoryExpansion:
+    def test_no_expansion_no_cost(self):
+        assert G.memory_expansion_gas(0, 10) == 0
+
+    def test_linear_term(self):
+        assert G.memory_expansion_gas(1, 1) == 3
+
+    def test_quadratic_kicks_in(self):
+        # Expanding from 0 to 1024 words: 3*1024 + 1024^2/512 = 3072 + 2048.
+        assert G.memory_expansion_gas(1024, 1024) == 5120
+
+    def test_incremental_equals_total_difference(self):
+        total = G.memory_expansion_gas(100, 100)
+        first = G.memory_expansion_gas(60, 60)
+        second = G.memory_expansion_gas(40, 100)
+        assert first + second == total
+
+
+class TestSload:
+    def test_cold_vs_warm(self):
+        assert G.sload_gas(cold=True) == 2_100
+        assert G.sload_gas(cold=False) == 100
+
+
+class TestSstore:
+    """The canonical dynamic-cost opcode (gas-flow guards exist for this)."""
+
+    def test_noop_write(self):
+        assert G.sstore_gas(current=5, new=5, cold=False) == 100
+
+    def test_fresh_set_is_most_expensive(self):
+        assert G.sstore_gas(current=0, new=1, cold=False) == 20_000
+
+    def test_reset(self):
+        assert G.sstore_gas(current=1, new=2, cold=False) == 5_000
+
+    def test_clear(self):
+        assert G.sstore_gas(current=1, new=0, cold=False) == 5_000
+
+    def test_cold_surcharge(self):
+        warm = G.sstore_gas(current=0, new=1, cold=False)
+        cold = G.sstore_gas(current=0, new=1, cold=True)
+        assert cold - warm == 2_100
+
+    def test_conflict_can_change_cost(self):
+        # The gas-flow scenario: a conflicting tx flips the slot's prior
+        # value between zero and non-zero, changing this write's price.
+        assert G.sstore_gas(0, 7, False) != G.sstore_gas(3, 7, False)
+
+
+class TestExp:
+    def test_zero_exponent(self):
+        assert G.exp_gas(0) == 10
+
+    def test_per_byte(self):
+        assert G.exp_gas(1) == 60
+        assert G.exp_gas(255) == 60
+        assert G.exp_gas(256) == 110
+        assert G.exp_gas(1 << 248) == 10 + 50 * 32
+
+
+class TestSizes:
+    def test_sha3(self):
+        assert G.sha3_gas(0) == 30
+        assert G.sha3_gas(32) == 36
+        assert G.sha3_gas(33) == 42
+
+    def test_copy(self):
+        assert G.copy_gas(0) == 0
+        assert G.copy_gas(1) == 3
+        assert G.copy_gas(64) == 6
+
+    def test_log(self):
+        assert G.log_gas(0, 0) == 375
+        assert G.log_gas(3, 32) == 375 + 3 * 375 + 8 * 32
+
+
+class TestCall:
+    def test_plain(self):
+        assert G.call_gas(value=0, cold_account=False) == 700
+
+    def test_value_transfer_surcharge(self):
+        assert G.call_gas(value=1, cold_account=False) == 9_700
+
+    def test_cold_account_surcharge(self):
+        assert G.call_gas(value=0, cold_account=True) == 700 + 2_500

@@ -1,0 +1,306 @@
+"""Interpreter semantics: ALU table, control flow, memory, storage, env.
+
+Programs are written in assembly, installed as contract code, and invoked
+through the full transaction envelope; results come back via RETURN.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts.abi import encode_call
+from repro.evm import gas as G
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import execute_transaction
+from repro.evm.message import BlockEnv, Transaction
+from repro.primitives import UINT_MAX, from_signed, make_address
+from repro.state import StateView, WorldState
+from repro.state.keys import storage_key
+
+CONTRACT = make_address(0xCA11)
+SENDER = make_address(0x5E4D)
+ETHER = 10**18
+
+
+def run_code(source: str, storage: dict[int, int] | None = None, value: int = 0,
+             data: bytes = b"", gas_limit: int = 500_000):
+    """Assemble, install, execute; returns (TxResult, view)."""
+    world = WorldState()
+    world.set_code(CONTRACT, assemble(source))
+    world.set_balance(SENDER, 10 * ETHER)
+    for slot, val in (storage or {}).items():
+        world.set_storage(CONTRACT, slot, val)
+    view = StateView(world)
+    tx = Transaction(
+        sender=SENDER, to=CONTRACT, value=value, data=data, gas_limit=gas_limit
+    )
+    result = execute_transaction(view, tx, BlockEnv())
+    return result, view
+
+
+def returned_word(source: str, **kwargs) -> int:
+    result, _ = run_code(source, **kwargs)
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+RETURN_TOP = "PUSH0 MSTORE PUSH 32 PUSH0 RETURN"
+
+
+# (source expression, expected) — each exercises one ALU opcode end to end.
+ALU_CASES = [
+    ("PUSH 3 PUSH 4 ADD", 7),
+    ("PUSH 3 PUSH 4 MUL", 12),
+    ("PUSH 3 PUSH 10 SUB", 7),  # SUB pops top first: 10 - 3
+    ("PUSH 3 PUSH 10 DIV", 3),
+    ("PUSH 0 PUSH 10 DIV", 0),
+    ("PUSH 3 PUSH 10 MOD", 1),
+    (f"PUSH 2 PUSH {from_signed(-7)} SDIV", from_signed(-3)),
+    (f"PUSH 2 PUSH {from_signed(-7)} SMOD", from_signed(-1)),
+    ("PUSH 5 PUSH 4 PUSH 3 ADDMOD", 2),  # (3 + 4) % 5
+    ("PUSH 5 PUSH 4 PUSH 3 MULMOD", 2),  # (3 * 4) % 5
+    ("PUSH 5 PUSH 3 EXP", 243),  # 3 ** 5
+    ("PUSH 0xFF PUSH 0 SIGNEXTEND", UINT_MAX),
+    ("PUSH 10 PUSH 3 LT", 1),
+    ("PUSH 3 PUSH 10 GT", 1),
+    (f"PUSH 0 PUSH {from_signed(-1)} SLT", 1),
+    (f"PUSH {from_signed(-1)} PUSH 0 SGT", 1),
+    ("PUSH 7 PUSH 7 EQ", 1),
+    ("PUSH 7 PUSH 8 EQ", 0),
+    ("PUSH 0 ISZERO", 1),
+    ("PUSH 9 ISZERO", 0),
+    ("PUSH 0x0F PUSH 0x3C AND", 0x0C),
+    ("PUSH 0x0F PUSH 0x30 OR", 0x3F),
+    ("PUSH 0x0F PUSH 0x3C XOR", 0x33),
+    ("PUSH 0 NOT", UINT_MAX),
+    ("PUSH 0xAB PUSH 31 BYTE", 0xAB),
+    ("PUSH 1 PUSH 2 SHL", 4),  # 1 << 2... SHL pops shift first
+    ("PUSH 4 PUSH 1 SHR", 2),
+    (f"PUSH {from_signed(-4)} PUSH 1 SAR", from_signed(-2)),
+]
+
+
+@pytest.mark.parametrize("source,expected", ALU_CASES)
+def test_alu_opcode(source, expected):
+    assert returned_word(f"{source} {RETURN_TOP}") == expected
+
+
+class TestStackOps:
+    def test_pop_discards(self):
+        assert returned_word(f"PUSH 1 PUSH 99 POP {RETURN_TOP}") == 1
+
+    def test_dup(self):
+        assert returned_word(f"PUSH 5 DUP1 ADD {RETURN_TOP}") == 10
+
+    def test_swap(self):
+        # 10 - 3 vs 3 - 10: SWAP1 flips the operands.
+        assert returned_word(f"PUSH 10 PUSH 3 SWAP1 SUB {RETURN_TOP}") == 7
+
+    def test_deep_dup_swap(self):
+        src = "PUSH 1 PUSH 2 PUSH 3 PUSH 4 DUP4 " + RETURN_TOP
+        assert returned_word(src) == 1
+
+    def test_stack_underflow_fails_tx(self):
+        result, _ = run_code("POP STOP")
+        assert not result.success
+
+
+class TestControlFlow:
+    def test_jump(self):
+        src = """
+        PUSH @skip JUMP
+        PUSH 1 PUSH0 MSTORE      ; skipped
+        skip:
+        JUMPDEST
+        PUSH 42
+        """ + RETURN_TOP
+        assert returned_word(src) == 42
+
+    def test_jumpi_taken(self):
+        src = f"PUSH 1 PUSH @yes JUMPI PUSH 0 {RETURN_TOP} yes: JUMPDEST PUSH 7 {RETURN_TOP}"
+        assert returned_word(src) == 7
+
+    def test_jumpi_not_taken(self):
+        src = f"PUSH 0 PUSH @yes JUMPI PUSH 3 {RETURN_TOP} yes: JUMPDEST PUSH 7 {RETURN_TOP}"
+        assert returned_word(src) == 3
+
+    def test_jump_to_non_jumpdest_fails(self):
+        result, _ = run_code("PUSH 1 JUMP")
+        assert not result.success
+
+    def test_jump_into_push_immediate_fails(self):
+        # Byte 1 is the 0x5B immediate of PUSH1, not a real JUMPDEST.
+        result, _ = run_code("PUSH1 0x5b PUSH 1 JUMP")
+        assert not result.success
+
+    def test_jumpi_untaken_ignores_bad_dest(self):
+        src = f"PUSH 0 PUSH 9999 JUMPI PUSH 5 {RETURN_TOP}"
+        assert returned_word(src) == 5
+
+    def test_implicit_stop_at_code_end(self):
+        result, _ = run_code("PUSH 1")
+        assert result.success
+        assert result.return_data == b""
+
+    def test_revert_returns_data_and_fails(self):
+        result, _ = run_code("PUSH 42 PUSH0 MSTORE PUSH 32 PUSH0 REVERT")
+        assert not result.success
+        assert int.from_bytes(result.return_data, "big") == 42
+
+    def test_invalid_opcode_fails(self):
+        result, _ = run_code("INVALID")
+        assert not result.success
+
+    def test_out_of_gas(self):
+        result, _ = run_code(
+            "loop: JUMPDEST PUSH @loop JUMP", gas_limit=25_000
+        )
+        assert not result.success
+        assert result.gas_used == 25_000
+
+
+class TestMemoryOps:
+    def test_mstore_mload(self):
+        assert returned_word(f"PUSH 123 PUSH 64 MSTORE PUSH 64 MLOAD {RETURN_TOP}") == 123
+
+    def test_mstore8(self):
+        # Store one byte at offset 31 -> word value 0xAB.
+        assert returned_word(f"PUSH 0xAB PUSH 31 MSTORE8 PUSH0 MLOAD {RETURN_TOP}") == 0xAB
+
+    def test_mstore8_masks_to_byte(self):
+        assert returned_word(f"PUSH 0x1FF PUSH 31 MSTORE8 PUSH0 MLOAD {RETURN_TOP}") == 0xFF
+
+    def test_overlapping_writes(self):
+        # MSTORE 32 bytes at 0, then MSTORE8 at 0: the first byte changes.
+        src = f"""
+        PUSH 0x11 PUSH0 MSTORE8
+        PUSH0 MLOAD
+        """ + RETURN_TOP
+        assert returned_word(src) == 0x11 << 248
+
+    def test_msize(self):
+        assert returned_word(f"PUSH 1 PUSH 100 MSTORE MSIZE {RETURN_TOP}") == 160
+
+    def test_sha3(self):
+        from repro.crypto import keccak256
+
+        expected = int.from_bytes(keccak256(b"\x00" * 32), "big")
+        assert returned_word(f"PUSH 32 PUSH0 SHA3 {RETURN_TOP}") == expected
+
+    def test_mload_of_fresh_memory_is_zero(self):
+        assert returned_word(f"PUSH 1000 MLOAD {RETURN_TOP}") == 0
+
+
+class TestCalldata:
+    def test_calldataload(self):
+        data = (99).to_bytes(32, "big")
+        assert returned_word(
+            f"PUSH0 CALLDATALOAD {RETURN_TOP}", data=data
+        ) == 99
+
+    def test_calldataload_past_end_zero_pads(self):
+        assert returned_word(
+            f"PUSH 1 CALLDATALOAD {RETURN_TOP}", data=b"\xff"
+        ) == 0
+
+    def test_calldatasize(self):
+        assert returned_word(f"CALLDATASIZE {RETURN_TOP}", data=b"abc") == 3
+
+    def test_calldatacopy(self):
+        src = f"PUSH 3 PUSH0 PUSH0 CALLDATACOPY PUSH0 MLOAD {RETURN_TOP}"
+        expected = int.from_bytes(b"abc".ljust(32, b"\x00"), "big")
+        assert returned_word(src, data=b"abc") == expected
+
+
+class TestStorageOps:
+    def test_sload_committed(self):
+        assert returned_word(
+            f"PUSH 7 SLOAD {RETURN_TOP}", storage={7: 777}
+        ) == 777
+
+    def test_sstore_then_sload(self):
+        assert returned_word(
+            f"PUSH 55 PUSH 7 SSTORE PUSH 7 SLOAD {RETURN_TOP}"
+        ) == 55
+
+    def test_sstore_lands_in_write_set(self):
+        result, _ = run_code("PUSH 55 PUSH 7 SSTORE STOP")
+        assert result.write_set[storage_key(CONTRACT, 7)] == 55
+
+    def test_sload_lands_in_read_set(self):
+        result, _ = run_code("PUSH 7 SLOAD POP STOP", storage={7: 3})
+        assert result.read_set[storage_key(CONTRACT, 7)] == 3
+
+    def test_cold_warm_sload_gas(self):
+        cold, _ = run_code("PUSH 7 SLOAD POP STOP")
+        warm, _ = run_code("PUSH 7 SLOAD POP PUSH 7 SLOAD POP STOP")
+        extra = warm.gas_used - cold.gas_used
+        # Second SLOAD is warm: 100 + PUSH(3) + POP(2).
+        assert extra == G.GAS_SLOAD_WARM + 3 + 2
+
+    def test_balance_opcode(self):
+        src = f"PUSH {int.from_bytes(SENDER, 'big')} BALANCE {RETURN_TOP}"
+        result, _ = run_code(src)
+        assert result.success
+        # The sender prepaid its full gas allowance is NOT deducted upfront
+        # in this model; only the final fee is.  During execution the
+        # balance is the genesis balance (value transfers happened first).
+        assert int.from_bytes(result.return_data, "big") == 10 * ETHER
+
+    def test_selfbalance(self):
+        result, _ = run_code(f"SELFBALANCE {RETURN_TOP}", value=123)
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 123
+
+
+class TestEnvOps:
+    def test_address_caller_origin(self):
+        assert returned_word(f"ADDRESS {RETURN_TOP}") == int.from_bytes(CONTRACT, "big")
+        assert returned_word(f"CALLER {RETURN_TOP}") == int.from_bytes(SENDER, "big")
+        assert returned_word(f"ORIGIN {RETURN_TOP}") == int.from_bytes(SENDER, "big")
+
+    def test_callvalue(self):
+        assert returned_word(f"CALLVALUE {RETURN_TOP}", value=5) == 5
+
+    def test_block_context(self):
+        env = BlockEnv()
+        assert returned_word(f"NUMBER {RETURN_TOP}") == env.number
+        assert returned_word(f"TIMESTAMP {RETURN_TOP}") == env.timestamp
+        assert returned_word(f"CHAINID {RETURN_TOP}") == env.chain_id
+        assert returned_word(f"GASLIMIT {RETURN_TOP}") == env.gas_limit
+
+    def test_codesize(self):
+        src = f"CODESIZE {RETURN_TOP}"
+        assert returned_word(src) == len(assemble(src))
+
+    def test_gasprice(self):
+        assert returned_word(f"GASPRICE {RETURN_TOP}") == 1
+
+    def test_pc(self):
+        assert returned_word(f"PC {RETURN_TOP}") == 0
+        assert returned_word(f"STOP" if False else f"JUMPDEST PC {RETURN_TOP}") == 1
+
+    def test_gas_decreases(self):
+        remaining = returned_word(f"GAS {RETURN_TOP}")
+        assert 0 < remaining < 500_000
+
+
+class TestLogs:
+    def test_log0(self):
+        result, _ = run_code("PUSH 42 PUSH0 MSTORE PUSH 32 PUSH0 LOG0 STOP")
+        assert len(result.logs) == 1
+        assert result.logs[0].address == CONTRACT
+        assert result.logs[0].topics == ()
+        assert int.from_bytes(result.logs[0].data, "big") == 42
+
+    def test_log3_topic_order(self):
+        result, _ = run_code(
+            "PUSH 3 PUSH 2 PUSH 1 PUSH0 PUSH0 LOG3 STOP"
+        )
+        assert result.logs[0].topics == (1, 2, 3)
+
+    def test_reverted_logs_still_recorded_but_tx_failed(self):
+        result, _ = run_code(
+            "PUSH 1 PUSH0 PUSH0 LOG1 PUSH0 PUSH0 REVERT"
+        )
+        assert not result.success

@@ -1,0 +1,178 @@
+"""256-bit word arithmetic: yellow-paper semantics, edge cases, properties."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import primitives as p
+
+WORDS = st.integers(min_value=0, max_value=p.UINT_MAX)
+SMALL = st.integers(min_value=0, max_value=2**64)
+
+MIN_SIGNED = 1 << 255  # -2^255 in two's complement
+
+
+class TestUnsignedArithmetic:
+    def test_add_wraps(self):
+        assert p.add(p.UINT_MAX, 1) == 0
+
+    def test_sub_wraps(self):
+        assert p.sub(0, 1) == p.UINT_MAX
+
+    def test_mul_wraps(self):
+        assert p.mul(1 << 200, 1 << 200) == (1 << 400) % p.WORD_MOD
+
+    def test_div_by_zero_is_zero(self):
+        assert p.div(123, 0) == 0
+
+    def test_div_truncates(self):
+        assert p.div(7, 2) == 3
+
+    def test_mod_by_zero_is_zero(self):
+        assert p.mod(123, 0) == 0
+
+    def test_addmod_ignores_word_wrap(self):
+        # (MAX + MAX) % MAX would be 0 if computed with wrapping.
+        assert p.addmod(p.UINT_MAX, p.UINT_MAX, p.UINT_MAX) == 0
+        assert p.addmod(p.UINT_MAX, 2, p.UINT_MAX) == 2
+
+    def test_mulmod_ignores_word_wrap(self):
+        assert p.mulmod(p.UINT_MAX, p.UINT_MAX, 12) == (p.UINT_MAX**2) % 12
+
+    def test_addmod_zero_modulus(self):
+        assert p.addmod(1, 2, 0) == 0
+
+    def test_mulmod_zero_modulus(self):
+        assert p.mulmod(3, 4, 0) == 0
+
+    def test_exp(self):
+        assert p.exp(2, 256) == 0  # wraps to zero
+        assert p.exp(3, 5) == 243
+        assert p.exp(0, 0) == 1
+
+
+class TestSignedArithmetic:
+    def test_sdiv_truncates_toward_zero(self):
+        minus7 = p.from_signed(-7)
+        assert p.to_signed(p.sdiv(minus7, 2)) == -3
+
+    def test_sdiv_by_zero(self):
+        assert p.sdiv(p.from_signed(-5), 0) == 0
+
+    def test_sdiv_min_by_minus_one_overflow(self):
+        # The EVM defines MIN_SIGNED / -1 == MIN_SIGNED.
+        assert p.sdiv(MIN_SIGNED, p.from_signed(-1)) == MIN_SIGNED
+
+    def test_smod_takes_dividend_sign(self):
+        assert p.to_signed(p.smod(p.from_signed(-7), 2)) == -1
+        assert p.to_signed(p.smod(7, p.from_signed(-2))) == 1
+
+    def test_smod_by_zero(self):
+        assert p.smod(p.from_signed(-5), 0) == 0
+
+    def test_slt_sgt(self):
+        assert p.slt(p.from_signed(-1), 0) == 1
+        assert p.sgt(0, p.from_signed(-1)) == 1
+        assert p.slt(1, 2) == 1
+        assert p.sgt(2, 1) == 1
+
+
+class TestSignExtend:
+    def test_extends_negative_byte(self):
+        assert p.signextend(0, 0xFF) == p.UINT_MAX
+
+    def test_keeps_positive_byte(self):
+        assert p.signextend(0, 0x7F) == 0x7F
+
+    def test_masks_higher_bytes_when_positive(self):
+        assert p.signextend(0, 0x17F) == 0x7F
+
+    def test_index_31_is_identity(self):
+        assert p.signextend(31, 0xDEAD) == 0xDEAD
+
+    def test_huge_index_is_identity(self):
+        assert p.signextend(1 << 100, 0xBEEF) == 0xBEEF
+
+
+class TestBitOps:
+    def test_byte_extracts_msb_first(self):
+        value = 0xAA << 248
+        assert p.byte(0, value) == 0xAA
+        assert p.byte(31, 0xBB) == 0xBB
+        assert p.byte(32, 0xBB) == 0
+
+    def test_shl_shr_bounds(self):
+        assert p.shl(256, 1) == 0
+        assert p.shr(256, p.UINT_MAX) == 0
+        assert p.shl(1, 1) == 2
+        assert p.shr(1, 2) == 1
+
+    def test_sar_preserves_sign(self):
+        assert p.sar(1, p.from_signed(-2)) == p.from_signed(-1)
+        assert p.sar(300, p.from_signed(-1)) == p.UINT_MAX
+        assert p.sar(300, 5) == 0
+
+    def test_not(self):
+        assert p.not_(0) == p.UINT_MAX
+        assert p.not_(p.UINT_MAX) == 0
+
+
+class TestConversions:
+    def test_word_bytes_roundtrip(self):
+        for v in (0, 1, p.UINT_MAX, 0xDEADBEEF << 128):
+            assert p.bytes_to_word(p.word_to_bytes(v)) == v
+
+    def test_address_word_roundtrip(self):
+        addr = p.make_address(424242)
+        assert p.word_to_address(p.address_to_word(addr)) == addr
+
+    def test_word_to_address_truncates(self):
+        word = (0xFF << 240) | 0x1234
+        assert p.word_to_address(word) == (0x1234).to_bytes(20, "big")
+
+    def test_make_address_distinct_and_sized(self):
+        a, b = p.make_address(1), p.make_address(2)
+        assert a != b
+        assert len(a) == 20
+        assert a[0] != 0  # never the zero address
+
+
+@given(WORDS, WORDS)
+def test_add_matches_modular_arithmetic(a, b):
+    assert p.add(a, b) == (a + b) % p.WORD_MOD
+
+
+@given(WORDS, WORDS)
+def test_sub_is_inverse_of_add(a, b):
+    assert p.sub(p.add(a, b), b) == a
+
+
+@given(WORDS)
+def test_signed_roundtrip(a):
+    assert p.from_signed(p.to_signed(a)) == a
+
+
+@given(WORDS, WORDS)
+def test_sdiv_smod_reconstruct_dividend(a, b):
+    # a == b * (a sdiv b) + (a smod b) in signed arithmetic (when b != 0).
+    if b == 0:
+        return
+    q = p.to_signed(p.sdiv(a, b))
+    r = p.to_signed(p.smod(a, b))
+    assert p.to_signed(a) == p.to_signed(b) * q + r
+
+
+@given(WORDS, st.integers(min_value=0, max_value=255))
+def test_shl_then_shr_clears_low_bits_only(a, s):
+    assert p.shr(s, p.shl(s, a)) == a & (p.UINT_MAX >> s)
+
+
+@given(WORDS)
+def test_not_is_involution(a):
+    assert p.not_(p.not_(a)) == a
+
+
+@given(st.integers(min_value=0, max_value=31), WORDS)
+def test_byte_matches_big_endian_encoding(i, v):
+    assert p.byte(i, v) == p.word_to_bytes(v)[i]

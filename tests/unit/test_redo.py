@@ -1,0 +1,247 @@
+"""The redo phase (Algorithm 1): the §3.2 scenario and every guard family.
+
+The central check everywhere: after a successful redo, the corrected write
+set must equal what a full re-execution against the post-conflict state
+produces (the paper's Lemma 2).
+"""
+
+from __future__ import annotations
+
+from repro.contracts import allowance_slot, balance_slot
+from repro.core.redo import redo
+from repro.core.tracer import SSATracer
+from repro.state.keys import balance_key, storage_key
+
+from ..conftest import transfer_from_tx, transfer_tx
+
+
+def trace_and_redo(world, run_tx, tx, conflicts):
+    """Execute tx under the tracer, then redo against ``conflicts``."""
+    tracer = SSATracer()
+    result = run_tx(world, tx, tracer=tracer)
+    assert result.success
+    outcome = redo(tracer.log, conflicts)
+    return result, outcome, tracer.log
+
+
+def reference_rerun(world, run_tx, tx, conflicts):
+    """Full re-execution with conflicts folded into committed state."""
+    for key, value in conflicts.items():
+        world.apply({key: value})
+    return run_tx(world, tx)
+
+
+class TestSection32Scenario:
+    """tx2 = transferFrom(A, C) conflicting with tx1's update of balances[A]."""
+
+    def _tx2(self, token, alice, bob, carol):
+        return transfer_from_tx(bob, token, alice, carol, 200)
+
+    def test_redo_fixes_sender_balance_chain(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx2 = self._tx2(token, alice, bob, carol)
+        key_a = storage_key(token, balance_slot(alice))
+        # tx1 (conceptually) moved A's balance from 1000 to 700.
+        result, outcome, _ = trace_and_redo(world, run_tx, tx2, {key_a: 700})
+        assert outcome.success
+        assert outcome.updated_writes[key_a] == 500  # 700 - 200
+
+    def test_redo_leaves_recipient_update_untouched(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx2 = self._tx2(token, alice, bob, carol)
+        key_a = storage_key(token, balance_slot(alice))
+        key_c = storage_key(token, balance_slot(carol))
+        result, outcome, _ = trace_and_redo(world, run_tx, tx2, {key_a: 700})
+        assert outcome.success
+        # C's balance update was conflict-free: not re-executed, not changed.
+        assert key_c not in outcome.updated_writes
+        assert result.write_set[key_c] == 1200
+
+    def test_redo_matches_full_reexecution(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx2 = self._tx2(token, alice, bob, carol)
+        key_a = storage_key(token, balance_slot(alice))
+        conflicts = {key_a: 700}
+        result, outcome, _ = trace_and_redo(world, run_tx, tx2, dict(conflicts))
+        assert outcome.success
+        merged = dict(result.write_set)
+        merged.update(outcome.updated_writes)
+
+        reference = reference_rerun(world.clone(), run_tx, tx2, conflicts)
+        assert reference.success
+        assert merged == reference.write_set
+        assert reference.gas_used == result.gas_used  # gas-flow held
+
+    def test_constraint_guard_aborts_when_balance_insufficient(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        """The paper's §3.2 abort case: after tx1, A cannot cover tx2."""
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx2 = self._tx2(token, alice, bob, carol)
+        key_a = storage_key(token, balance_slot(alice))
+        _, outcome, _ = trace_and_redo(world, run_tx, tx2, {key_a: 100})
+        assert not outcome.success
+        assert "ASSERT_EQ" in outcome.reason or "GUARD" in outcome.reason
+
+    def test_redo_counts_are_small(self, world, run_tx, token, alice, bob, carol):
+        """Operation-level selling point: the slice is a handful of entries,
+        not the whole transaction (paper: ~7 entries ≈ 0.3%)."""
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx2 = self._tx2(token, alice, bob, carol)
+        key_a = storage_key(token, balance_slot(alice))
+        result, outcome, log = trace_and_redo(world, run_tx, tx2, {key_a: 700})
+        assert outcome.success
+        assert outcome.reexecuted < len(log.entries) / 2
+        assert outcome.reexecuted < result.ops_executed / 5
+
+
+class TestGuardFamilies:
+    def test_allowance_conflict_redo(self, world, run_tx, token, alice, bob, carol):
+        world.set_storage(token, allowance_slot(alice, bob), 500)
+        tx = transfer_from_tx(bob, token, alice, carol, 200)
+        key = storage_key(token, allowance_slot(alice, bob))
+        result, outcome, _ = trace_and_redo(world, run_tx, tx, {key: 400})
+        assert outcome.success
+        assert outcome.updated_writes[key] == 200
+
+    def test_allowance_guard_violation_aborts(
+        self, world, run_tx, token, alice, bob, carol
+    ):
+        world.set_storage(token, allowance_slot(alice, bob), 500)
+        tx = transfer_from_tx(bob, token, alice, carol, 200)
+        key = storage_key(token, allowance_slot(alice, bob))
+        _, outcome, _ = trace_and_redo(world, run_tx, tx, {key: 100})
+        assert not outcome.success
+
+    def test_gas_flow_violation_zero_to_nonzero(
+        self, world, run_tx, token, alice, bob
+    ):
+        """bob had no tokens: the credit SSTORE was priced as zero->nonzero.
+        If a conflicting tx gives bob tokens first, the same store becomes
+        nonzero->nonzero (cheaper) — the gas-flow guard must abort."""
+        key_b = storage_key(token, balance_slot(bob))
+        world.set_storage(token, balance_slot(bob), 0)
+        tx = transfer_tx(alice, token, bob, 100)
+        _, outcome, _ = trace_and_redo(world, run_tx, tx, {key_b: 5})
+        assert not outcome.success
+        assert "gas-flow" in outcome.reason
+
+    def test_gas_flow_ok_when_zeroness_unchanged(
+        self, world, run_tx, token, alice, bob
+    ):
+        key_b = storage_key(token, balance_slot(bob))
+        tx = transfer_tx(alice, token, bob, 100)  # bob already has 1000
+        result, outcome, _ = trace_and_redo(world, run_tx, tx, {key_b: 999})
+        assert outcome.success
+        assert outcome.updated_writes[key_b] == 1099
+
+    def test_intrinsic_balance_conflict(self, world, run_tx, alice, bob):
+        """Native transfers conflict through intrinsic ILOAD/ISTORE chains."""
+        from repro.evm.message import Transaction
+
+        tx = Transaction(sender=alice, to=bob, value=100, gas_limit=21_000)
+        key = balance_key(bob)
+        result, outcome, _ = trace_and_redo(world, run_tx, tx, {key: 12345})
+        assert outcome.success
+        assert outcome.updated_writes[key] == 12445
+
+    def test_intrinsic_guard_violation(self, world, run_tx, alice, bob):
+        from repro.evm.message import Transaction
+
+        tx = Transaction(sender=alice, to=bob, value=100, gas_limit=21_000)
+        # The sender's balance collapses below the upfront requirement.
+        _, outcome, _ = trace_and_redo(
+            world, run_tx, tx, {balance_key(alice): 10}
+        )
+        assert not outcome.success
+
+    def test_non_redoable_log_fails_fast(self, world, run_tx, token, alice, bob):
+        tracer = SSATracer()
+        result = run_tx(world, transfer_tx(alice, token, bob, 1), tracer=tracer)
+        assert result.success
+        tracer.log.redoable = False
+        outcome = redo(tracer.log, {balance_key(alice): 0})
+        assert not outcome.success
+        assert "reverted frame" in outcome.reason
+
+    def test_empty_conflicts_is_trivial_success(
+        self, world, run_tx, token, alice, bob
+    ):
+        tracer = SSATracer()
+        run_tx(world, transfer_tx(alice, token, bob, 1), tracer=tracer)
+        outcome = redo(tracer.log, {})
+        assert outcome.success
+        assert outcome.reexecuted == 0
+
+
+class TestLogRewrite:
+    def test_event_payload_rewritten_by_redo(self, amm_world, run_tx, alice):
+        """An AMM swap's Transfer event carries amountOut (reserve-derived):
+        redo must rewrite the recorded log data (LOGDATA entries)."""
+        from repro.contracts import encode_call
+        from repro.contracts.abi import event_topic
+        from repro.evm.message import Transaction
+
+        world, pair, token0, token1 = amm_world
+        tx = Transaction(
+            sender=alice,
+            to=pair,
+            data=encode_call("swap(uint256,uint256,address)", 10**6, 1, alice),
+            gas_limit=800_000,
+        )
+        tracer = SSATracer()
+        result = run_tx(world, tx, tracer=tracer)
+        assert result.success
+        transfer_topic = event_topic("Transfer(address,address,uint256)")
+        payout_log = [
+            log for log in result.logs if log.topics[0] == transfer_topic
+        ][-1]
+        original_amount = int.from_bytes(payout_log.data, "big")
+
+        # Another swap changed the reserves before this one commits.
+        reserve_out_key = storage_key(pair, 3)
+        conflicts = {reserve_out_key: 10**12 - 10**9}
+        outcome = redo(tracer.log, conflicts)
+        assert outcome.success
+        new_amount = int.from_bytes(payout_log.data, "big")
+        assert new_amount != original_amount
+
+        # Cross-check the rewritten amount against a full re-execution.
+        reference = reference_rerun(world.clone(), run_tx, tx, conflicts)
+        reference_log = [
+            log for log in reference.logs if log.topics[0] == transfer_topic
+        ][-1]
+        assert reference_log.data == payout_log.data
+
+    def test_amm_swap_redo_matches_full_rerun(self, amm_world, run_tx, alice):
+        from repro.contracts import encode_call
+        from repro.evm.message import Transaction
+
+        world, pair, token0, token1 = amm_world
+        tx = Transaction(
+            sender=alice,
+            to=pair,
+            data=encode_call("swap(uint256,uint256,address)", 10**6, 1, alice),
+            gas_limit=800_000,
+        )
+        tracer = SSATracer()
+        result = run_tx(world, tx, tracer=tracer)
+        assert result.success
+
+        conflicts = {storage_key(pair, 2): 10**12 + 10**7,
+                     storage_key(pair, 3): 10**12 - 10**7}
+        outcome = redo(tracer.log, dict(conflicts))
+        assert outcome.success, outcome.reason
+        merged = dict(result.write_set)
+        merged.update(outcome.updated_writes)
+
+        reference = reference_rerun(world.clone(), run_tx, tx, conflicts)
+        assert reference.success
+        assert merged == reference.write_set
+        assert reference.gas_used == result.gas_used

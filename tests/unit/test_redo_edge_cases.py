@@ -1,0 +1,181 @@
+"""Redo-phase edge cases, each driven by a purpose-built assembly program."""
+
+from __future__ import annotations
+
+from repro.core.redo import redo
+from repro.core.tracer import SSATracer
+from repro.crypto import keccak256
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import execute_transaction
+from repro.evm.message import BlockEnv, Transaction
+from repro.primitives import make_address
+from repro.state import StateView, WorldState
+from repro.state.keys import storage_key
+
+CONTRACT = make_address(0xED9E)
+SENDER = make_address(0x5E4D)
+ETHER = 10**18
+
+
+def trace(source: str, storage: dict[int, int] | None = None):
+    world = WorldState()
+    world.set_code(CONTRACT, assemble(source))
+    world.set_balance(SENDER, 10 * ETHER)
+    for slot, value in (storage or {}).items():
+        world.set_storage(CONTRACT, slot, value)
+    tracer = SSATracer()
+    view = StateView(world)
+    tx = Transaction(sender=SENDER, to=CONTRACT, gas_limit=500_000)
+    result = execute_transaction(view, tx, BlockEnv(), tracer=tracer)
+    assert result.success, result.error
+    return tracer.log, result, world
+
+
+def key(slot: int):
+    return storage_key(CONTRACT, slot)
+
+
+class TestBlindWriteGasRecheck:
+    """An SSTORE whose *slot* conflicts changes price even when its value
+    doesn't — redo() re-derives the cost for writes on conflicting keys
+    that the DFS never reaches."""
+
+    SRC = "PUSH 5 PUSH 1 SSTORE STOP"  # blind constant write to slot 1
+
+    def test_zeroness_flip_aborts(self):
+        log, _, _ = trace(self.SRC, storage={1: 0})  # priced as 0 -> 5 (SET)
+        outcome = redo(log, {key(1): 7})  # now 7 -> 5 (RESET): cheaper
+        assert not outcome.success
+        assert "gas-flow" in outcome.reason
+
+    def test_same_zeroness_passes(self):
+        log, _, _ = trace(self.SRC, storage={1: 3})  # priced as RESET
+        outcome = redo(log, {key(1): 9})  # still RESET
+        assert outcome.success
+        # The write itself was constant: nothing re-executed, value kept.
+        assert outcome.updated_writes == {}
+
+
+class TestExpGasGuard:
+    # result = 2 ** storage[1]; stored to slot 2.
+    SRC = "PUSH 1 SLOAD PUSH 2 EXP PUSH 2 SSTORE STOP"
+
+    def test_same_exponent_width_redoes(self):
+        log, _, _ = trace(self.SRC, storage={1: 200, 2: 1})
+        outcome = redo(log, {key(1): 201})
+        assert outcome.success, outcome.reason
+        assert outcome.updated_writes[key(2)] == 2**201
+
+    def test_wider_exponent_violates_gas_flow(self):
+        log, _, _ = trace(self.SRC, storage={1: 200, 2: 1})
+        outcome = redo(log, {key(1): 300})  # 1-byte -> 2-byte exponent
+        assert not outcome.success
+        assert "EXP" in outcome.reason
+
+
+class TestMemoryMediatedChains:
+    def test_mload_chain(self):
+        # slot2 = mem roundtrip of slot1's value.
+        src = (
+            "PUSH 1 SLOAD PUSH 64 MSTORE "
+            "PUSH 64 MLOAD PUSH 2 SSTORE STOP"
+        )
+        log, _, _ = trace(src, storage={1: 42, 2: 1})
+        outcome = redo(log, {key(1): 99})
+        assert outcome.success
+        assert outcome.updated_writes[key(2)] == 99
+
+    def test_sha3_chain(self):
+        # slot2 = keccak(pad32(slot1)).
+        src = (
+            "PUSH 1 SLOAD PUSH0 MSTORE "
+            "PUSH 32 PUSH0 SHA3 PUSH 2 SSTORE STOP"
+        )
+        log, _, _ = trace(src, storage={1: 42, 2: 1})
+        outcome = redo(log, {key(1): 99})
+        assert outcome.success
+        expected = int.from_bytes(keccak256((99).to_bytes(32, "big")), "big")
+        assert outcome.updated_writes[key(2)] == expected
+
+    def test_partial_memory_overlay(self):
+        # A constant MSTORE8 overwrites one byte of the loaded word before
+        # the MLOAD: the redo must patch only the dependent bytes.
+        src = (
+            "PUSH 1 SLOAD PUSH0 MSTORE "
+            "PUSH 0xAA PUSH0 MSTORE8 "  # byte 0 becomes constant 0xAA
+            "PUSH0 MLOAD PUSH 2 SSTORE STOP"
+        )
+        log, _, _ = trace(src, storage={1: 42, 2: 1})
+        outcome = redo(log, {key(1): 99})
+        assert outcome.success
+        expected = int.from_bytes(
+            b"\xaa" + (99).to_bytes(32, "big")[1:], "big"
+        )
+        assert outcome.updated_writes[key(2)] == expected
+
+
+class TestTypeIIChains:
+    def test_read_own_write_chain(self):
+        # slot1 += 1 twice, via a type-II SLOAD in between.
+        src = (
+            "PUSH 1 SLOAD PUSH 1 ADD PUSH 1 SSTORE "
+            "PUSH 1 SLOAD PUSH 1 ADD PUSH 1 SSTORE STOP"
+        )
+        log, _, _ = trace(src, storage={1: 10})
+        # Exactly one type-I (direct) read of slot 1.
+        assert len(log.direct_reads[key(1)]) == 1
+        outcome = redo(log, {key(1): 100})
+        assert outcome.success
+        assert outcome.updated_writes[key(1)] == 102
+
+    def test_final_write_wins_in_updated_writes(self):
+        src = (
+            "PUSH 1 SLOAD PUSH 2 MUL PUSH 3 SSTORE "  # slot3 = 2 * slot1
+            "PUSH 1 SLOAD PUSH 3 MUL PUSH 3 SSTORE "  # slot3 = 3 * slot1
+            "STOP"
+        )
+        log, _, _ = trace(src, storage={1: 5, 3: 1})
+        outcome = redo(log, {key(1): 7})
+        assert outcome.success
+        assert outcome.updated_writes[key(3)] == 21  # the LAST write's value
+
+
+class TestControlFlowGuards:
+    # Branch on whether slot1 < 10: different SSTORE on each path.
+    SRC = """
+        PUSH 1 SLOAD PUSH 10 SWAP1 LT
+        PUSH @small JUMPI
+        PUSH 111 PUSH 2 SSTORE STOP
+    small:
+        JUMPDEST
+        PUSH 222 PUSH 2 SSTORE STOP
+    """
+
+    def test_same_branch_redoes(self):
+        log, _, _ = trace(self.SRC, storage={1: 3, 2: 1})  # took `small`
+        outcome = redo(log, {key(1): 4})  # still < 10
+        assert outcome.success
+
+    def test_branch_flip_aborts(self):
+        log, _, _ = trace(self.SRC, storage={1: 3, 2: 1})
+        outcome = redo(log, {key(1): 50})  # now >= 10: other path
+        assert not outcome.success
+        assert "ASSERT_EQ" in outcome.reason
+
+
+class TestDataFlowGuards:
+    def test_storage_derived_slot_address_is_guarded(self):
+        # SSTORE whose *target slot* comes from storage.
+        src = "PUSH 7 PUSH 1 SLOAD SSTORE STOP"  # storage[storage[1]] = 7
+        log, _, _ = trace(src, storage={1: 5})
+        # Unchanged address: fine.
+        assert redo(log, {key(1): 5}).success
+        log2, _, _ = trace(src, storage={1: 5})
+        outcome = redo(log2, {key(1): 6})  # the write would move!
+        assert not outcome.success
+
+    def test_storage_derived_memory_offset_is_guarded(self):
+        src = "PUSH 42 PUSH 1 SLOAD MSTORE STOP"  # mem[storage[1]] = 42
+        log, _, _ = trace(src, storage={1: 64})
+        outcome = redo(log, {key(1): 96})
+        assert not outcome.success

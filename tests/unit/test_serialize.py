@@ -1,0 +1,115 @@
+"""SSA-log wire format: round-trips, rebuilt indexes, redo equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts import allowance_slot, balance_slot, encode_call
+from repro.core.redo import redo
+from repro.core.serialize import (
+    SerializationError,
+    decode_log,
+    encode_log,
+)
+from repro.core.ssa_log import PseudoOp
+from repro.core.tracer import SSATracer
+from repro.state.keys import storage_key
+
+from ..conftest import transfer_from_tx, transfer_tx
+
+
+def traced_log(world, run_tx, tx):
+    tracer = SSATracer()
+    result = run_tx(world, tx, tracer=tracer)
+    assert result.success
+    return tracer.log, result
+
+
+class TestRoundTrip:
+    def test_entry_fields_survive(self, world, run_tx, token, alice, bob):
+        log, _ = traced_log(world, run_tx, transfer_tx(alice, token, bob, 300))
+        rebuilt = decode_log(encode_log(log))
+        assert len(rebuilt) == len(log)
+        for original, copy in zip(log.entries, rebuilt.entries):
+            assert copy.lsn == original.lsn
+            assert copy.opcode == original.opcode
+            assert copy.operands == original.operands
+            assert copy.result == original.result
+            assert copy.def_stack == original.def_stack
+            assert copy.def_storage == original.def_storage
+            assert copy.def_memory == original.def_memory
+            assert copy.key == original.key
+            assert copy.gas_cost == original.gas_cost
+            assert copy.gas_dynamic == original.gas_dynamic
+
+    def test_tracking_maps_rebuilt(self, world, run_tx, token, alice, bob):
+        log, _ = traced_log(world, run_tx, transfer_tx(alice, token, bob, 300))
+        rebuilt = decode_log(encode_log(log))
+        assert rebuilt.direct_reads == log.direct_reads
+        assert rebuilt.latest_writes == log.latest_writes
+        assert rebuilt.writes_by_key == log.writes_by_key
+        assert rebuilt.uses == log.uses
+        assert rebuilt.redoable == log.redoable
+
+    def test_non_redoable_flag_survives(self, world, run_tx, token, alice, bob):
+        log, _ = traced_log(world, run_tx, transfer_tx(alice, token, bob, 1))
+        log.redoable = False
+        assert decode_log(encode_log(log)).redoable is False
+
+    def test_meta_with_record_survives(self, amm_world, run_tx, alice):
+        from repro.evm.message import Transaction
+
+        world, pair, _, _ = amm_world
+        tx = Transaction(
+            sender=alice,
+            to=pair,
+            data=encode_call("swap(uint256,uint256,address)", 10**6, 1, alice),
+            gas_limit=800_000,
+        )
+        log, _ = traced_log(world, run_tx, tx)
+        rebuilt = decode_log(encode_log(log))
+        originals = [e for e in log.entries if e.opcode == PseudoOp.LOGDATA]
+        copies = [e for e in rebuilt.entries if e.opcode == PseudoOp.LOGDATA]
+        assert len(copies) == len(originals) > 0
+        for original, copy in zip(originals, copies):
+            assert copy.meta["record"].topics == original.meta["record"].topics
+            assert copy.meta["record"].data == original.meta["record"].data
+
+
+class TestRedoOnDeserializedLog:
+    def test_redo_outcome_identical(self, world, run_tx, token, alice, bob, carol):
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx = transfer_from_tx(bob, token, alice, carol, 200)
+        log, _ = traced_log(world, run_tx, tx)
+        wire = encode_log(log)
+
+        key = storage_key(token, balance_slot(alice))
+        direct = redo(log, {key: 700})
+        shipped = redo(decode_log(wire), {key: 700})
+        assert shipped.success == direct.success is True
+        assert shipped.updated_writes == direct.updated_writes
+        assert shipped.reexecuted == direct.reexecuted
+
+    def test_guard_violation_identical(self, world, run_tx, token, alice, bob, carol):
+        world.set_storage(token, allowance_slot(alice, bob), 10**6)
+        tx = transfer_from_tx(bob, token, alice, carol, 200)
+        log, _ = traced_log(world, run_tx, tx)
+        wire = encode_log(log)
+        key = storage_key(token, balance_slot(alice))
+        assert not redo(decode_log(wire), {key: 3}).success
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(Exception):
+            decode_log(b"\x00garbage")
+
+    def test_truncated_rejected(self, world, run_tx, token, alice, bob):
+        log, _ = traced_log(world, run_tx, transfer_tx(alice, token, bob, 1))
+        wire = encode_log(log)
+        with pytest.raises(Exception):
+            decode_log(wire[: len(wire) // 2])
+
+    def test_wire_is_deterministic(self, world, run_tx, token, alice, bob):
+        log, _ = traced_log(world, run_tx, transfer_tx(alice, token, bob, 1))
+        assert encode_log(log) == encode_log(decode_log(encode_log(log)))

@@ -1,0 +1,179 @@
+"""The simulated machine: clock, meters, list scheduling, event-driven runs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.cost import CostModel
+from repro.sim.machine import SimMachine, Task, list_schedule_makespan
+from repro.sim.meter import CostMeter
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.0)
+        assert clock.now_us == 7.0
+
+    def test_backwards_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_by(-1.0)
+
+
+class TestMeter:
+    def test_charges_accumulate_by_category(self):
+        meter = CostMeter()
+        meter.charge_compute(1.5)
+        meter.charge_storage(20.0, cold=True)
+        meter.charge_storage(0.5, cold=False)
+        meter.charge_tracking(0.1, entries=2)
+        assert meter.total_us == pytest.approx(22.1)
+        assert meter.ops == 1
+        assert meter.storage_reads == 2
+        assert meter.storage_cold_reads == 1
+        assert meter.log_entries == 2
+
+    def test_merge(self):
+        a, b = CostMeter(), CostMeter()
+        a.charge_compute(1.0)
+        b.charge_storage(2.0, cold=True)
+        merged = a.merged_with(b)
+        assert merged.total_us == pytest.approx(3.0)
+
+
+class TestListSchedule:
+    def test_single_thread_is_sum(self):
+        assert list_schedule_makespan([3, 4, 5], 1) == 12
+
+    def test_many_threads_is_max(self):
+        assert list_schedule_makespan([3, 4, 5], 8) == 5
+
+    def test_greedy_assignment(self):
+        # In-order greedy: [4,3,3] on 2 threads -> t1: 4, t2: 3+3 = 6.
+        assert list_schedule_makespan([4, 3, 3], 2) == 6
+
+    def test_per_task_overhead(self):
+        assert list_schedule_makespan([1, 1], 1, per_task_overhead_us=0.5) == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            list_schedule_makespan([1], 0)
+        with pytest.raises(SimulationError):
+            list_schedule_makespan([-1], 2)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_bounds(self, durations, threads):
+        makespan = list_schedule_makespan(durations, threads)
+        total = sum(durations)
+        assert makespan <= total + 1e-6
+        assert makespan >= max(max(durations), total / threads) - 1e-6
+
+
+class _BatchScheduler:
+    """Feeds a fixed batch of tasks, records completion order."""
+
+    def __init__(self, durations):
+        self.todo = [Task(kind="t", duration_us=d, payload=i)
+                     for i, d in enumerate(durations)]
+        self.completed: list[tuple[int, float]] = []
+
+    def next_task(self, worker_id, now_us):
+        return self.todo.pop(0) if self.todo else None
+
+    def on_complete(self, task, now_us):
+        self.completed.append((task.payload, now_us))
+
+    def done(self):
+        return not self.todo and True
+
+
+class TestSimMachine:
+    def test_batch_matches_list_schedule(self):
+        durations = [5.0, 3.0, 8.0, 1.0, 2.0]
+        scheduler = _BatchScheduler(durations)
+        makespan = SimMachine(2).run(scheduler)
+        assert makespan == pytest.approx(list_schedule_makespan(durations, 2))
+
+    def test_single_worker_serializes(self):
+        scheduler = _BatchScheduler([1.0, 2.0, 3.0])
+        assert SimMachine(1).run(scheduler) == pytest.approx(6.0)
+
+    def test_completion_times_monotone(self):
+        scheduler = _BatchScheduler([4.0, 1.0, 1.0, 1.0])
+        SimMachine(2).run(scheduler)
+        times = [t for _, t in scheduler.completed]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        d = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        r1 = SimMachine(3).run(_BatchScheduler(list(d)))
+        r2 = SimMachine(3).run(_BatchScheduler(list(d)))
+        assert r1 == r2
+
+    def test_deadlock_detection(self):
+        class Stuck:
+            def next_task(self, worker_id, now_us):
+                return None
+
+            def on_complete(self, task, now_us):
+                pass
+
+            def done(self):
+                return False
+
+        with pytest.raises(SimulationError):
+            SimMachine(2).run(Stuck())
+
+    def test_dynamic_task_injection(self):
+        """A completion may enqueue new work (the OCC/redo pattern)."""
+
+        class TwoPhase:
+            def __init__(self):
+                self.phase1 = [Task(kind="a", duration_us=2.0)]
+                self.phase2: list[Task] = []
+                self.finished = 0
+
+            def next_task(self, worker_id, now_us):
+                if self.phase1:
+                    return self.phase1.pop()
+                if self.phase2:
+                    return self.phase2.pop()
+                return None
+
+            def on_complete(self, task, now_us):
+                if task.kind == "a":
+                    self.phase2.append(Task(kind="b", duration_us=3.0))
+                else:
+                    self.finished += 1
+
+            def done(self):
+                return self.finished == 1
+
+        scheduler = TwoPhase()
+        assert SimMachine(4).run(scheduler) == pytest.approx(5.0)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(SimulationError):
+            SimMachine(0)
+
+
+class TestCostModel:
+    def test_hash_cost_scales_with_words(self):
+        cm = CostModel()
+        assert cm.hash_cost(64) > cm.hash_cost(32) > cm.hash_cost(0)
+
+    def test_copy_cost(self):
+        cm = CostModel()
+        assert cm.copy_cost(0) == 0
+        assert cm.copy_cost(33) == 2 * cm.copy_word_us

@@ -1,0 +1,179 @@
+"""SSA operation log container: DUG edges, tracking maps, slice extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ssa_log import LogEntry, PseudoOp, SSAOperationLog
+from repro.evm.opcodes import Op
+from repro.primitives import make_address
+from repro.state.keys import storage_key
+
+KEY_A = storage_key(make_address(1), 1)
+KEY_B = storage_key(make_address(1), 2)
+
+
+def sload(log: SSAOperationLog, key, value, def_storage=None) -> LogEntry:
+    entry = LogEntry(
+        lsn=log.next_lsn(),
+        opcode=Op.SLOAD,
+        key=key,
+        result=value,
+        def_storage=def_storage,
+    )
+    log.append(entry)
+    log.record_load(entry)
+    return entry
+
+
+def sstore(log: SSAOperationLog, key, value, value_def=None) -> LogEntry:
+    entry = LogEntry(
+        lsn=log.next_lsn(),
+        opcode=Op.SSTORE,
+        key=key,
+        operands=(value,),
+        def_stack=(value_def,),
+        result=value,
+    )
+    log.append(entry)
+    log.record_store(entry)
+    return entry
+
+
+def alu(log: SSAOperationLog, opcode, operands, defs, result) -> LogEntry:
+    entry = LogEntry(
+        lsn=log.next_lsn(),
+        opcode=opcode,
+        operands=operands,
+        def_stack=defs,
+        result=result,
+    )
+    log.append(entry)
+    return entry
+
+
+class TestAppend:
+    def test_lsns_are_sequential(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        e1 = alu(log, Op.ADD, (10, 5), (e0.lsn, None), 15)
+        assert (e0.lsn, e1.lsn) == (0, 1)
+        assert len(log) == 2
+
+    def test_non_sequential_lsn_rejected(self):
+        log = SSAOperationLog()
+        with pytest.raises(AssertionError):
+            log.append(LogEntry(lsn=5, opcode=Op.ADD))
+
+
+class TestDUG:
+    def test_def_stack_edge(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        e1 = alu(log, Op.ADD, (10, 5), (e0.lsn, None), 15)
+        assert log.uses[e0.lsn] == [e1.lsn]
+
+    def test_def_storage_edge(self):
+        log = SSAOperationLog()
+        s0 = sstore(log, KEY_A, 7)
+        l1 = sload(log, KEY_A, 7, def_storage=s0.lsn)
+        assert l1.lsn in log.uses[s0.lsn]
+
+    def test_def_memory_edges(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        entry = LogEntry(
+            lsn=log.next_lsn(),
+            opcode=Op.MLOAD,
+            operands=(b"\x00" * 32,),
+            def_memory=((0, 32, e0.lsn, 0),),
+            result=10,
+        )
+        log.append(entry)
+        assert entry.lsn in log.uses[e0.lsn]
+
+    def test_duplicate_deps_make_one_edge(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        alu(log, Op.MUL, (10, 10), (e0.lsn, e0.lsn), 100)
+        assert log.uses[e0.lsn] == [1]
+
+    def test_dependents_of_transitive(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)  # source
+        e1 = alu(log, Op.ADD, (10, 1), (e0.lsn, None), 11)
+        e2 = alu(log, Op.MUL, (11, 2), (e1.lsn, None), 22)
+        _unrelated = sload(log, KEY_B, 5)
+        e4 = sstore(log, KEY_A, 22, value_def=e2.lsn)
+        slice_ = log.dependents_of([e0.lsn])
+        assert slice_ == [e0.lsn, e1.lsn, e2.lsn, e4.lsn]
+
+    def test_dependents_of_returns_execution_order(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 1)
+        e1 = sload(log, KEY_B, 2)
+        e2 = alu(log, Op.ADD, (1, 2), (e0.lsn, e1.lsn), 3)
+        assert log.dependents_of([e1.lsn, e0.lsn]) == [0, 1, 2]
+
+    def test_empty_sources(self):
+        log = SSAOperationLog()
+        sload(log, KEY_A, 1)
+        assert log.dependents_of([]) == []
+
+
+class TestTrackingMaps:
+    def test_type1_load_recorded_in_direct_reads(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        assert log.direct_reads[KEY_A] == [e0.lsn]
+
+    def test_type2_load_not_in_direct_reads(self):
+        log = SSAOperationLog()
+        s0 = sstore(log, KEY_A, 7)
+        sload(log, KEY_A, 7, def_storage=s0.lsn)
+        assert KEY_A not in log.direct_reads
+
+    def test_latest_writes_tracks_most_recent(self):
+        log = SSAOperationLog()
+        s0 = sstore(log, KEY_A, 1)
+        s1 = sstore(log, KEY_A, 2)
+        assert log.latest_writes[KEY_A] == s1.lsn
+        assert log.writes_by_key[KEY_A] == [s0.lsn, s1.lsn]
+
+    def test_multiple_type1_loads_all_recorded(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        e1 = sload(log, KEY_A, 10)
+        assert log.direct_reads[KEY_A] == [e0.lsn, e1.lsn]
+
+
+class TestResultBytes:
+    def test_int_result(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 0xAB)
+        assert log.result_bytes(e0.lsn) == (0xAB).to_bytes(32, "big")
+
+    def test_bytes_result(self):
+        log = SSAOperationLog()
+        entry = LogEntry(lsn=0, opcode=Op.MLOAD, result=b"\x01" * 32)
+        log.append(entry)
+        assert log.result_bytes(0) == b"\x01" * 32
+
+
+class TestRendering:
+    def test_describe_mentions_lsn_and_opcode(self):
+        log = SSAOperationLog()
+        e0 = sload(log, KEY_A, 10)
+        text = e0.describe()
+        assert "L0" in text
+        assert "SLOAD" in text
+
+    def test_pseudo_op_names(self):
+        entry = LogEntry(lsn=0, opcode=PseudoOp.ASSERT_EQ, operands=(5,), def_stack=(None,))
+        assert "ASSERT_EQ" in entry.describe()
+
+    def test_dump_is_line_per_entry(self):
+        log = SSAOperationLog()
+        sload(log, KEY_A, 1)
+        sstore(log, KEY_A, 2)
+        assert len(log.dump().splitlines()) == 2

@@ -1,0 +1,207 @@
+"""Merkle Patricia trie: Ethereum vectors, structure, model-based property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrieError
+from repro.trie import EMPTY_ROOT, MerklePatriciaTrie
+from repro.trie.mpt import trie_root
+from repro.trie.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hp_decode,
+    hp_encode,
+    nibbles_to_bytes,
+)
+
+
+class TestNibbles:
+    def test_bytes_to_nibbles(self):
+        assert bytes_to_nibbles(b"\x12\xab") == (1, 2, 0xA, 0xB)
+
+    def test_nibbles_roundtrip(self):
+        data = b"\x00\xff\x5a"
+        assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+    def test_odd_nibbles_rejected(self):
+        with pytest.raises(TrieError):
+            nibbles_to_bytes((1, 2, 3))
+
+    def test_common_prefix(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 4)) == 2
+        assert common_prefix_length((), (1,)) == 0
+        assert common_prefix_length((5,), (5,)) == 1
+
+    @pytest.mark.parametrize("is_leaf", [True, False])
+    @pytest.mark.parametrize(
+        "path", [(), (1,), (1, 2), (1, 2, 3), (0xF,) * 7]
+    )
+    def test_hp_roundtrip(self, path, is_leaf):
+        assert hp_decode(hp_encode(path, is_leaf)) == (path, is_leaf)
+
+    def test_hp_known_encodings(self):
+        # Yellow paper appendix C examples.
+        assert hp_encode((1, 2, 3, 4, 5), is_leaf=False) == b"\x11\x23\x45"
+        assert hp_encode((0, 1, 2, 3, 4, 5), is_leaf=False) == b"\x00\x01\x23\x45"
+        assert hp_encode((0xF, 1, 0xC, 0xB, 8), is_leaf=True) == b"\x3f\x1c\xb8"
+
+
+class TestTrieVectors:
+    def test_empty_root(self):
+        assert MerklePatriciaTrie().root_hash() == EMPTY_ROOT
+
+    def test_ethereum_foundation_vector(self):
+        # From the ethereum/tests trietest suite ("branchingTests").
+        trie = MerklePatriciaTrie()
+        for k, v in [
+            (b"do", b"verb"),
+            (b"dog", b"puppy"),
+            (b"doge", b"coin"),
+            (b"horse", b"stallion"),
+        ]:
+            trie.put(k, v)
+        assert trie.root_hash().hex() == (
+            "5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84"
+        )
+
+    def test_single_entry_root_differs_from_empty(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"k", b"v")
+        assert trie.root_hash() != EMPTY_ROOT
+
+
+class TestTrieOperations:
+    def test_get_missing_returns_none(self):
+        trie = MerklePatriciaTrie()
+        assert trie.get(b"nope") is None
+
+    def test_put_get(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"alpha", b"1")
+        trie.put(b"beta", b"2")
+        assert trie.get(b"alpha") == b"1"
+        assert trie.get(b"beta") == b"2"
+
+    def test_overwrite(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"k", b"v1")
+        trie.put(b"k", b"v2")
+        assert trie.get(b"k") == b"v2"
+
+    def test_empty_value_deletes(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"k", b"v")
+        trie.put(b"k", b"")
+        assert trie.get(b"k") is None
+        assert trie.root_hash() == EMPTY_ROOT
+
+    def test_key_is_prefix_of_other(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"dog", b"1")
+        trie.put(b"doge", b"2")
+        assert trie.get(b"dog") == b"1"
+        assert trie.get(b"doge") == b"2"
+        trie.delete(b"dog")
+        assert trie.get(b"dog") is None
+        assert trie.get(b"doge") == b"2"
+
+    def test_delete_missing_is_noop(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"a", b"1")
+        root = trie.root_hash()
+        trie.delete(b"zzz")
+        assert trie.root_hash() == root
+
+    def test_delete_everything_restores_empty_root(self):
+        trie = MerklePatriciaTrie()
+        keys = [bytes([i, j]) for i in range(6) for j in range(6)]
+        for k in keys:
+            trie.put(k, k + b"!")
+        for k in keys:
+            trie.delete(k)
+        assert trie.root_hash() == EMPTY_ROOT
+
+    def test_items_sorted_and_complete(self):
+        trie = MerklePatriciaTrie()
+        pairs = {bytes([i]): bytes([i, i]) for i in range(20)}
+        for k, v in pairs.items():
+            trie.put(k, v)
+        assert dict(trie.items()) == pairs
+        assert len(trie) == 20
+
+    def test_contains(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"yes", b"1")
+        assert b"yes" in trie
+        assert b"no" not in trie
+
+    def test_insertion_order_independence(self):
+        pairs = {bytes([i, j]): bytes([j + 1]) for i in range(8) for j in range(8)}
+        root1 = trie_root(pairs)
+        trie2 = MerklePatriciaTrie()
+        for k in sorted(pairs, reverse=True):
+            trie2.put(k, pairs[k])
+        assert trie2.root_hash() == root1
+
+    def test_root_reflects_content_not_history(self):
+        # Insert extra keys and delete them: root must match fresh build.
+        trie = MerklePatriciaTrie()
+        trie.put(b"keep", b"1")
+        trie.put(b"temp1", b"x")
+        trie.put(b"temp22", b"y")
+        trie.delete(b"temp1")
+        trie.delete(b"temp22")
+        assert trie.root_hash() == trie_root({b"keep": b"1"})
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=8),
+        st.binary(min_size=1, max_size=16),
+        max_size=30,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_trie_behaves_like_a_dict(pairs, rng):
+    """Model-based: arbitrary put/delete sequences match a plain dict."""
+    trie = MerklePatriciaTrie()
+    model: dict[bytes, bytes] = {}
+    operations = list(pairs.items())
+    rng.shuffle(operations)
+    for key, value in operations:
+        trie.put(key, value)
+        model[key] = value
+    # Delete a random half.
+    for key in rng.sample(list(model), k=len(model) // 2):
+        trie.delete(key)
+        del model[key]
+    assert dict(trie.items()) == model
+    assert trie.root_hash() == trie_root(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=6),
+        st.binary(min_size=1, max_size=8),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_root_is_content_addressed(pairs):
+    """Same content, any insertion order -> same root; differing content ->
+    different root (collision-freedom at test scale)."""
+    root = trie_root(pairs)
+    reordered = MerklePatriciaTrie()
+    for key in sorted(pairs):
+        reordered.put(key, pairs[key])
+    assert reordered.root_hash() == root
+
+    key = next(iter(pairs))
+    mutated = dict(pairs)
+    mutated[key] = pairs[key] + b"\x01"
+    assert trie_root(mutated) != root

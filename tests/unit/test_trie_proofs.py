@@ -1,0 +1,117 @@
+"""Merkle proofs: inclusion, exclusion, tamper detection, properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrieError
+from repro.trie import MerklePatriciaTrie
+from repro.trie.proof import get_proof, verify_proof
+
+
+def build(pairs: dict[bytes, bytes]) -> MerklePatriciaTrie:
+    trie = MerklePatriciaTrie()
+    for k, v in pairs.items():
+        trie.put(k, v)
+    return trie
+
+
+PAIRS = {
+    b"do": b"verb",
+    b"dog": b"puppy",
+    b"doge": b"coin",
+    b"horse": b"stallion",
+}
+
+
+class TestInclusion:
+    def test_every_key_provable(self):
+        trie = build(PAIRS)
+        root = trie.root_hash()
+        for key, value in PAIRS.items():
+            proof = get_proof(trie, key)
+            assert verify_proof(root, key, proof) == value
+
+    def test_single_leaf_trie(self):
+        trie = build({b"k": b"v"})
+        proof = get_proof(trie, b"k")
+        assert verify_proof(trie.root_hash(), b"k", proof) == b"v"
+
+    def test_deep_trie(self):
+        pairs = {bytes([i, j]): bytes([i * 16 + j, 1]) for i in range(8) for j in range(8)}
+        trie = build(pairs)
+        root = trie.root_hash()
+        for key in (b"\x00\x00", b"\x03\x05", b"\x07\x07"):
+            assert verify_proof(root, key, get_proof(trie, key)) == pairs[key]
+
+
+class TestExclusion:
+    def test_absent_key_verifies_to_none(self):
+        trie = build(PAIRS)
+        root = trie.root_hash()
+        for key in (b"cat", b"doges", b"d", b"horsey"):
+            proof = get_proof(trie, key)
+            assert verify_proof(root, key, proof) is None
+
+    def test_empty_trie(self):
+        trie = MerklePatriciaTrie()
+        assert verify_proof(trie.root_hash(), b"any", get_proof(trie, b"any")) is None
+
+
+class TestTampering:
+    def test_flipped_byte_in_node_detected(self):
+        trie = build(PAIRS)
+        root = trie.root_hash()
+        proof = get_proof(trie, b"dog")
+        bad = list(proof)
+        bad[0] = bad[0][:-1] + bytes([bad[0][-1] ^ 1])
+        with pytest.raises(TrieError):
+            verify_proof(root, b"dog", bad)
+
+    def test_wrong_root_detected(self):
+        trie = build(PAIRS)
+        proof = get_proof(trie, b"dog")
+        with pytest.raises(TrieError):
+            verify_proof(b"\x00" * 32, b"dog", proof)
+
+    def test_truncated_proof_detected(self):
+        trie = build(PAIRS)
+        root = trie.root_hash()
+        proof = get_proof(trie, b"dog")
+        if len(proof) > 1:
+            with pytest.raises(TrieError):
+                verify_proof(root, b"dog", proof[:-1])
+
+    def test_value_cannot_be_forged(self):
+        """Swapping in another key's (valid) proof must not prove this key."""
+        trie = build(PAIRS)
+        root = trie.root_hash()
+        other = get_proof(trie, b"horse")
+        result = None
+        try:
+            result = verify_proof(root, b"dog", other)
+        except TrieError:
+            return  # rejected outright: fine
+        assert result != PAIRS[b"dog"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=6),
+        st.binary(min_size=1, max_size=12),
+        min_size=1,
+        max_size=25,
+    ),
+    st.binary(min_size=1, max_size=6),
+)
+def test_proof_roundtrip_property(pairs, probe):
+    """For any trie: every member key proves to its value, and any probe
+    key proves to its dict value (or None when absent)."""
+    trie = build(pairs)
+    root = trie.root_hash()
+    for key, value in pairs.items():
+        assert verify_proof(root, key, get_proof(trie, key)) == value
+    assert verify_proof(root, probe, get_proof(trie, probe)) == pairs.get(probe)
