@@ -44,6 +44,7 @@ from .core import (
     redo,
 )
 from .evm import BlockEnv, Transaction, TxResult, assemble, execute_transaction
+from .obs import BlockObserver, MetricsRegistry, TraceRecorder, render_block_report
 from .sim import CostModel
 from .analysis import analyze_block
 from .state import StateView, WorldState, receipts_root
@@ -82,6 +83,10 @@ __all__ = [
     "StateView",
     "receipts_root",
     "analyze_block",
+    "BlockObserver",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "render_block_report",
     "CostModel",
     "Block",
     "Chain",

@@ -82,6 +82,7 @@ def measure_speedups(
     executors: list[BlockExecutor],
     check_state: bool = True,
     warm_keys: set | None = None,
+    observer_factory=None,
 ) -> dict[str, SpeedupSummary]:
     """Run every executor over every block; speedups vs cold serial.
 
@@ -89,6 +90,12 @@ def measure_speedups(
     mirroring how the paper replays each block under each system.  With
     ``warm_keys`` the *executor* worlds are prefetched (Table 2's two-phase
     protocol) while the serial baseline stays cold.
+
+    ``observer_factory`` (e.g. :class:`repro.obs.BlockObserver`) attaches a
+    fresh observer per executor-block run; its metrics snapshot lands under
+    the ``"metrics"`` key of that run's stats entry.  Observation never
+    changes makespans — the discrete-event machine emits spans with the same
+    event ordering either way.
     """
     summaries = {ex.name: SpeedupSummary(ex.name) for ex in executors}
     summaries["serial"] = SpeedupSummary("serial")
@@ -102,7 +109,15 @@ def measure_speedups(
             world = chain.fresh_world()
             if warm_keys is not None:
                 world.warm(warm_keys)
-            result = executor.execute_block(world, block.txs, block.env)
+            observer = None
+            if observer_factory is not None:
+                observer = observer_factory()
+                executor.observer = observer
+            try:
+                result = executor.execute_block(world, block.txs, block.env)
+            finally:
+                if observer is not None:
+                    executor.observer = None
             if check_state and result.writes != serial.writes:
                 raise ConcurrencyError(
                     f"{executor.name} diverged from serial on block "
@@ -111,7 +126,10 @@ def measure_speedups(
             summaries[executor.name].speedups.append(
                 serial.makespan_us / result.makespan_us
             )
-            summaries[executor.name].stats.append(dict(result.stats))
+            stats = dict(result.stats)
+            if observer is not None and getattr(observer, "metrics", None) is not None:
+                stats["metrics"] = observer.metrics.as_dict()
+            summaries[executor.name].stats.append(stats)
     return summaries
 
 

@@ -3,6 +3,7 @@
 Commands
 --------
 compare      run one synthesized block through every executor, print speedups
+run          run one block under one executor with tracing/metrics attached
 experiment   run a named paper experiment (table1, fig11, ...), print it
 replay       replay a span of blocks with MPT state-root validation
 inspect      print the SSA operation log of one transaction and walk a redo
@@ -17,8 +18,15 @@ import sys
 
 from .bench import experiments as exp
 from .bench.harness import executor_suite, standard_chain, standard_workload
-from .concurrency import SerialExecutor
+from .concurrency import (
+    BlockSTMExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    TwoPhaseExecutor,
+    TwoPLExecutor,
+)
 from .core.executor import ParallelEVMExecutor
+from .obs import BlockObserver, render_block_report
 
 EXPERIMENTS = {
     "table1": exp.run_table1,
@@ -55,6 +63,77 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{executor.name:<14} "
             f"{serial.makespan_us / result.makespan_us:>7.2f}x"
         )
+    return 0
+
+
+# Executors addressable by ``repro run --executor`` (superset of the
+# Table 1 suite: adds serial, Saraph-Herlihy two-phase and §6.3 preexec).
+RUN_EXECUTORS = {
+    "serial": lambda threads, observer: SerialExecutor(
+        threads=threads, observer=observer
+    ),
+    "2pl": lambda threads, observer: TwoPLExecutor(
+        threads=threads, observer=observer
+    ),
+    "occ": lambda threads, observer: OCCExecutor(
+        threads=threads, observer=observer
+    ),
+    "block-stm": lambda threads, observer: BlockSTMExecutor(
+        threads=threads, observer=observer
+    ),
+    "two-phase": lambda threads, observer: TwoPhaseExecutor(
+        threads=threads, observer=observer
+    ),
+    "parallelevm": lambda threads, observer: ParallelEVMExecutor(
+        threads=threads, observer=observer
+    ),
+    "parallelevm-preexec": lambda threads, observer: ParallelEVMExecutor(
+        threads=threads, preexecute=True, observer=observer
+    ),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    chain = standard_chain(accounts=args.accounts)
+    workload = standard_workload(chain, args.txs)
+    block = workload.block(args.block)
+
+    observer = BlockObserver()
+    executor = RUN_EXECUTORS[args.executor](args.threads, observer)
+    world = chain.fresh_world()
+    result = executor.execute_block(world, block.txs, block.env)
+
+    serial = SerialExecutor().execute_block(
+        chain.fresh_world(), block.txs, block.env
+    )
+    if result.writes != serial.writes:
+        print(f"{executor.name}: STATE DIVERGED from serial", file=sys.stderr)
+        return 1
+
+    metrics = observer.metrics
+    metrics.gauge("makespan_us").set(result.makespan_us)
+    metrics.gauge("threads").set(args.threads)
+    metrics.gauge("busy_us_total").set(observer.trace.busy_us())
+    world.db.publish(metrics)
+
+    print(
+        render_block_report(
+            observer,
+            result.makespan_us,
+            args.threads,
+            title=(
+                f"{args.executor} · block {block.number} · {len(block)} txs · "
+                f"speedup {serial.makespan_us / result.makespan_us:.2f}x"
+            ),
+        )
+    )
+
+    if args.trace:
+        observer.trace.write_chrome_trace(args.trace)
+        print(f"\ntrace: {len(observer.trace.spans)} spans -> {args.trace}")
+    if args.metrics_json:
+        metrics.write_json(args.metrics_json)
+        print(f"metrics: {len(metrics.as_dict())} series -> {args.metrics_json}")
     return 0
 
 
@@ -142,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--accounts", type=int, default=500)
     compare.add_argument("--block", type=int, default=14_000_000)
     compare.set_defaults(func=_cmd_compare)
+
+    run = sub.add_parser(
+        "run", help="run one block under one executor, with trace/metrics export"
+    )
+    run.add_argument("--executor", choices=sorted(RUN_EXECUTORS), default="parallelevm")
+    run.add_argument("--txs", type=int, default=60)
+    run.add_argument("--threads", type=int, default=16)
+    run.add_argument("--accounts", type=int, default=200)
+    run.add_argument("--block", type=int, default=14_000_000)
+    run.add_argument(
+        "--trace", metavar="FILE", help="write a Chrome trace-event JSON file"
+    )
+    run.add_argument(
+        "--metrics-json", metavar="FILE", help="write the metrics registry as JSON"
+    )
+    run.set_defaults(func=_cmd_run)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))

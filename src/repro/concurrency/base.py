@@ -49,15 +49,32 @@ class BlockResult:
 
 
 class BlockExecutor(ABC):
-    """Interface every concurrency-control algorithm implements."""
+    """Interface every concurrency-control algorithm implements.
+
+    ``observer`` is the optional telemetry hook (see :mod:`repro.obs`): a
+    :class:`repro.obs.BlockObserver` (or anything with an ``on_span`` method
+    and, optionally, a ``metrics`` registry) that receives every scheduled
+    task as a simulated-time span.  It is pure metadata — attaching one must
+    never change makespans, and the default ``None`` keeps every
+    instrumentation site on the uninstrumented fast path.
+    """
 
     name: str = "base"
 
     def __init__(
-        self, threads: int = 16, cost_model: CostModel = DEFAULT_COST_MODEL
+        self,
+        threads: int = 16,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        observer=None,
     ) -> None:
         self.threads = threads
         self.cost_model = cost_model
+        self.observer = observer
+
+    @property
+    def metrics(self):
+        """The observer's metrics registry, or None when unobserved."""
+        return getattr(self.observer, "metrics", None)
 
     @abstractmethod
     def execute_block(
@@ -150,3 +167,23 @@ def overlay_get(overlay: BlockOverlay, world: WorldState, key: StateKey):
     if value is _OVERLAY_MISS:
         return world.read(key)
     return value
+
+
+def publish_stats(metrics, stats: dict, prefix: str = "stats_") -> None:
+    """Mirror an executor's ``stats`` dict into a metrics registry as gauges.
+
+    No-op when ``metrics`` is None, so executors can call it unconditionally
+    at the end of ``execute_block``.
+    """
+    if metrics is None:
+        return
+    for key, value in stats.items():
+        metrics.gauge(prefix + key).set(value)
+
+
+def record_conflict_keys(metrics, conflicts) -> None:
+    """Count per-key validation conflicts (the report's conflict heatmap)."""
+    if metrics is None or not conflicts:
+        return
+    for key in conflicts:
+        metrics.counter("conflict_keys", key=str(key)).inc()

@@ -31,6 +31,7 @@ from .base import (
     BlockExecutor,
     BlockResult,
     commit_cost_us,
+    publish_stats,
     settle_fees,
     validation_cost_us,
 )
@@ -95,6 +96,7 @@ class _BlockSTMScheduler:
                     self.validation_epoch[index],
                     valid,
                 ),
+                tx_index=index,
             )
 
         while self.exec_queue:
@@ -121,11 +123,13 @@ class _BlockSTMScheduler:
                 kind="suspend",
                 duration_us=meter.total_us + cm.scheduler_slot_us,
                 payload=(index, dep.blocking_tx),
+                tx_index=index,
             )
         return Task(
             kind="execute",
             duration_us=meter.total_us + cm.scheduler_slot_us,
             payload=(index, result, adapter.read_versions),
+            tx_index=index,
         )
 
     # ---------------------------------------------------------- completion
@@ -217,7 +221,7 @@ class BlockSTMExecutor(BlockExecutor):
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
         scheduler = _BlockSTMScheduler(self, world, txs, env)
-        makespan = SimMachine(self.threads).run(scheduler)
+        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
 
         results = [r for r in scheduler.results if r is not None]
         # Like every block executor, Block-STM must publish write sets to
@@ -228,14 +232,16 @@ class BlockSTMExecutor(BlockExecutor):
         overlay = BlockOverlay()
         overlay.apply(scheduler.mv.final_writes(len(txs)))
         settle_fees(overlay, world, results, env)
+        stats = {
+            "executions": scheduler.executions,
+            "aborts": scheduler.aborts,
+            "estimate_suspensions": scheduler.estimate_suspensions,
+        }
+        publish_stats(self.metrics, stats)
         return BlockResult(
             writes=dict(overlay.items()),
             makespan_us=makespan,
             tx_results=results,
             threads=self.threads,
-            stats={
-                "executions": scheduler.executions,
-                "aborts": scheduler.aborts,
-                "estimate_suspensions": scheduler.estimate_suspensions,
-            },
+            stats=stats,
         )

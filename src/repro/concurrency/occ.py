@@ -22,6 +22,8 @@ from .base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    publish_stats,
+    record_conflict_keys,
     run_speculative,
     settle_fees,
     validation_cost_us,
@@ -68,6 +70,7 @@ class _OCCScheduler:
                 kind="validate",
                 duration_us=duration + cm.scheduler_slot_us,
                 payload=(index, conflicts),
+                tx_index=index,
             )
         if self.pending:
             index = self.pending.popleft()
@@ -80,6 +83,7 @@ class _OCCScheduler:
                 kind="execute",
                 duration_us=meter.total_us + cm.scheduler_slot_us,
                 payload=(index, result),
+                tx_index=index,
             )
         return None
 
@@ -94,6 +98,7 @@ class _OCCScheduler:
         result = self.exec_done.pop(index)
         if conflicts:
             self.aborts += 1
+            record_conflict_keys(self.executor.metrics, conflicts)
             self.pending.appendleft(index)  # re-execute as soon as possible
             return
         self.overlay.apply(result.write_set)
@@ -113,16 +118,18 @@ class OCCExecutor(BlockExecutor):
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
         scheduler = _OCCScheduler(self, world, txs, env)
-        makespan = SimMachine(self.threads).run(scheduler)
+        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
         results = [r for r in scheduler.results if r is not None]
         settle_fees(scheduler.overlay, world, results, env)
+        stats = {
+            "aborts": scheduler.aborts,
+            "executions": scheduler.executions,
+        }
+        publish_stats(self.metrics, stats)
         return BlockResult(
             writes=dict(scheduler.overlay.items()),
             makespan_us=makespan,
             tx_results=results,
             threads=self.threads,
-            stats={
-                "aborts": scheduler.aborts,
-                "executions": scheduler.executions,
-            },
+            stats=stats,
         )

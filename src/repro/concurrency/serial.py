@@ -8,12 +8,14 @@ its final state is the reference all concurrent executors must reproduce
 from __future__ import annotations
 
 from ..evm.message import BlockEnv, Transaction
+from ..sim.machine import Task
 from ..state.view import BlockOverlay
 from ..state.world import WorldState
 from .base import (
     BlockExecutor,
     BlockResult,
     commit_cost_us,
+    publish_stats,
     run_speculative,
     settle_fees,
 )
@@ -27,17 +29,35 @@ class SerialExecutor(BlockExecutor):
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
+        observer = self.observer
         overlay = BlockOverlay()
         results = []
         makespan = 0.0
-        for tx in txs:
+        for index, tx in enumerate(txs):
             result, meter = run_speculative(
                 world, overlay, tx, env, self.cost_model
             )
             overlay.apply(result.write_set)
-            makespan += meter.total_us + commit_cost_us(result, self.cost_model)
+            commit_us = commit_cost_us(result, self.cost_model)
+            if observer is not None:
+                # One execute span and one commit span per transaction, all
+                # on worker 0 — serial execution is its own schedule.
+                observer.on_span(
+                    0,
+                    Task(kind="execute", duration_us=meter.total_us, tx_index=index),
+                    makespan,
+                    makespan + meter.total_us,
+                )
+                observer.on_span(
+                    0,
+                    Task(kind="commit", duration_us=commit_us, tx_index=index),
+                    makespan + meter.total_us,
+                    makespan + meter.total_us + commit_us,
+                )
+            makespan += meter.total_us + commit_us
             results.append(result)
         settle_fees(overlay, world, results, env)
+        publish_stats(self.metrics, {"executions": len(txs)})
         return BlockResult(
             writes=dict(overlay.items()),
             makespan_us=makespan,

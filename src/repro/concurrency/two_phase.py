@@ -19,7 +19,7 @@ the hot-spot benchmarks show exactly that.
 from __future__ import annotations
 
 from ..evm.message import BlockEnv, Transaction, TxResult
-from ..sim.machine import list_schedule_makespan
+from ..sim.machine import Task, list_schedule
 from ..state.view import BlockOverlay
 from ..state.world import WorldState
 from .base import (
@@ -27,6 +27,8 @@ from .base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    publish_stats,
+    record_conflict_keys,
     run_speculative,
     settle_fees,
     validation_cost_us,
@@ -42,6 +44,7 @@ class TwoPhaseExecutor(BlockExecutor):
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
         cm = self.cost_model
+        observer = self.observer
 
         # ---- Phase 1: everyone runs against the pre-block state ----------
         speculative: list[TxResult] = []
@@ -50,7 +53,15 @@ class TwoPhaseExecutor(BlockExecutor):
             result, meter = run_speculative(world, None, tx, env, cm)
             speculative.append(result)
             durations.append(meter.total_us + cm.scheduler_slot_us)
-        phase1_us = list_schedule_makespan(durations, self.threads)
+        phase1_us, placements = list_schedule(durations, self.threads)
+        if observer is not None:
+            for i, (worker, start, end) in enumerate(placements):
+                observer.on_span(
+                    worker,
+                    Task(kind="speculate", duration_us=end - start, tx_index=i),
+                    start,
+                    end,
+                )
 
         # Survivors: footprint disjoint from every earlier tx's writes.
         written_so_far: set = set()
@@ -66,30 +77,48 @@ class TwoPhaseExecutor(BlockExecutor):
         results: list[TxResult] = []
         phase2_us = 0.0
         discarded = 0
+        def span(kind: str, index: int, duration: float) -> None:
+            # Phase 2 is the serial tail: every validate/re-run/commit runs
+            # back to back on worker 0, offset past the phase-1 makespan.
+            nonlocal phase2_us
+            if observer is not None and duration > 0:
+                start = phase1_us + phase2_us
+                observer.on_span(
+                    0,
+                    Task(kind=kind, duration_us=duration, tx_index=index),
+                    start,
+                    start + duration,
+                )
+            phase2_us += duration
+
         for i, tx in enumerate(txs):
             if survivor[i]:
                 result = speculative[i]
-                phase2_us += validation_cost_us(result, cm)
-                if find_conflicts(result.read_set, world, overlay):
+                span("validate", i, validation_cost_us(result, cm))
+                conflicts = find_conflicts(result.read_set, world, overlay)
+                if conflicts:
                     # A phase-2 re-execution touched this survivor's reads
                     # after all: fall back to a serial re-run.
                     survivor[i] = False
+                    record_conflict_keys(self.metrics, conflicts)
             if not survivor[i]:
                 discarded += 1
                 result, meter = run_speculative(world, overlay, tx, env, cm)
-                phase2_us += meter.total_us
+                span("execute", i, meter.total_us)
             overlay.apply(result.write_set)
-            phase2_us += commit_cost_us(result, cm)
+            span("commit", i, commit_cost_us(result, cm))
             results.append(result)
 
         settle_fees(overlay, world, results, env)
+        stats = {
+            "discarded": discarded,
+            "survivors": len(txs) - discarded,
+        }
+        publish_stats(self.metrics, stats)
         return BlockResult(
             writes=dict(overlay.items()),
             makespan_us=phase1_us + phase2_us,
             tx_results=results,
             threads=self.threads,
-            stats={
-                "discarded": discarded,
-                "survivors": len(txs) - discarded,
-            },
+            stats=stats,
         )

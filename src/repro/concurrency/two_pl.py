@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..evm.message import BlockEnv, Transaction
+from ..sim.machine import Task
 from ..state.keys import StateKey, balance_key
 from ..state.view import BlockOverlay
 from ..state.world import WorldState
@@ -31,6 +32,7 @@ from .base import (
     BlockExecutor,
     BlockResult,
     commit_cost_us,
+    publish_stats,
     run_speculative,
     settle_fees,
 )
@@ -82,6 +84,11 @@ class _TxSim:
     # Bumped on wound: events scheduled for an earlier life of this
     # transaction are stale and must be ignored.
     generation: int = 0
+    # Telemetry: which simulated worker runs the current segment, and when
+    # the segment started.  Timing-neutral — worker identity never feeds
+    # back into the lock protocol.
+    worker: int | None = None
+    seg_start: float = 0.0
 
 
 class TwoPLExecutor(BlockExecutor):
@@ -136,6 +143,9 @@ class TwoPLExecutor(BlockExecutor):
         # The centralized lock manager's critical sections serialise across
         # threads: each successful acquisition passes through it.
         makespan += acquisitions * self.cost_model.lock_table_serial_us
+        publish_stats(
+            self.metrics, {"wounds": wounds, "lock_acquisitions": acquisitions}
+        )
         return BlockResult(
             writes=dict(overlay.items()),
             makespan_us=makespan,
@@ -158,13 +168,17 @@ class TwoPLExecutor(BlockExecutor):
         commit point) -> COMMITTED.  A wound resets its victim to QUEUED.
         """
         n = len(sims)
+        observer = self.observer
         locks: dict[StateKey, int] = {}  # key -> holder index
         waiters: dict[StateKey, list[int]] = {}
         run_queue: list[int] = list(range(n))  # fresh (re)starts
         resume_queue: list[int] = []  # granted a lock, need a thread
         heapq.heapify(run_queue)
         state = ["queued"] * n
-        threads_free = self.threads
+        # Free simulated workers, lowest id first.  Identity is telemetry
+        # only (spans land on a stable worker row); timing depends solely on
+        # how many workers are free, exactly as the old counter did.
+        free_workers: list[int] = list(range(self.threads))
         next_commit = 0
         wounds = 0
         acquisitions = 0
@@ -172,6 +186,26 @@ class TwoPLExecutor(BlockExecutor):
         # Event heap: (time, seq, kind, tx_index, generation)
         events: list[tuple[float, int, str, int, int]] = []
         seq = 0
+
+        def claim_worker(sim: _TxSim) -> None:
+            sim.worker = heapq.heappop(free_workers)
+            sim.seg_start = now
+
+        def release_worker(sim: _TxSim) -> None:
+            """Return a running tx's worker; emit the finished run segment."""
+            if observer is not None and now > sim.seg_start:
+                observer.on_span(
+                    sim.worker,
+                    Task(
+                        kind="run",
+                        duration_us=now - sim.seg_start,
+                        tx_index=sim.index,
+                    ),
+                    sim.seg_start,
+                    now,
+                )
+            heapq.heappush(free_workers, sim.worker)
+            sim.worker = None
 
         def schedule(kind: str, at: float, index: int) -> None:
             nonlocal seq
@@ -230,15 +264,14 @@ class TwoPLExecutor(BlockExecutor):
 
         def start_ready() -> None:
             """Hand free threads out: resumed waiters first, then fresh txs."""
-            nonlocal threads_free
-            while threads_free > 0 and (resume_queue or run_queue):
+            while free_workers and (resume_queue or run_queue):
                 if resume_queue:
                     index = heapq.heappop(resume_queue)
                     if state[index] != "resumable":
                         continue  # wounded while queued
                     sim = sims[index]
                     state[index] = "running"
-                    threads_free -= 1
+                    claim_worker(sim)
                     # Continue from the parked access point.
                     schedule("access", now, index)
                 else:
@@ -249,12 +282,12 @@ class TwoPLExecutor(BlockExecutor):
                     sim.start_us = now
                     sim.step = 0
                     state[index] = "running"
-                    threads_free -= 1
+                    claim_worker(sim)
                     next_step_event(sim)
 
         def wound(victim_index: int, skip_handoff: StateKey | None = None) -> None:
             """Abort a later-sequenced lock holder: release, reset, requeue."""
-            nonlocal threads_free, wounds
+            nonlocal wounds
             victim = sims[victim_index]
             wounds += 1
             victim.restarts += 1
@@ -268,7 +301,7 @@ class TwoPLExecutor(BlockExecutor):
                         del waiters[victim.waiting_on]
             # Only an actively running victim occupies a thread.
             if state[victim_index] == "running":
-                threads_free += 1
+                release_worker(victim)
             victim.step = 0
             victim.waiting_on = None
             victim.finished_at = None
@@ -318,7 +351,7 @@ class TwoPLExecutor(BlockExecutor):
                         sim.waiting_on = key
                         state[index] = "waiting"
                         heapq.heappush(waiters.setdefault(key, []), index)
-                        threads_free += 1
+                        release_worker(sim)
                     else:
                         acquisitions += 1
                         locks[key] = index
@@ -331,7 +364,7 @@ class TwoPLExecutor(BlockExecutor):
                     sim.waiting_on = key
                     state[index] = "waiting"
                     heapq.heappush(waiters.setdefault(key, []), index)
-                    threads_free += 1
+                    release_worker(sim)
                     start_ready()
 
             elif kind == "finish":
@@ -339,7 +372,7 @@ class TwoPLExecutor(BlockExecutor):
                 # until the in-order commit point.
                 sim.finished_at = now
                 state[index] = "finished"
-                threads_free += 1
+                release_worker(sim)
                 start_ready()
                 schedule("try_commit", now, index)
 
@@ -365,7 +398,7 @@ class TwoPLExecutor(BlockExecutor):
                 f"waiting_on={blocked.waiting_on!r} "
                 f"holder={locks.get(blocked.waiting_on)} "
                 f"queue={waiters.get(blocked.waiting_on)} "
-                f"threads_free={threads_free}"
+                f"free_workers={len(free_workers)}"
             )
             raise ConcurrencyError(
                 f"2PL simulation stalled: {next_commit}/{n} transactions "

@@ -25,6 +25,8 @@ from ..concurrency.base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    publish_stats,
+    record_conflict_keys,
     run_speculative,
     settle_fees,
     validation_cost_us,
@@ -49,6 +51,7 @@ class _ParallelEVMScheduler:
         env: BlockEnv,
     ) -> None:
         self.executor = executor
+        self.metrics = executor.metrics
         self.world = world
         self.txs = txs
         self.env = env
@@ -75,7 +78,7 @@ class _ParallelEVMScheduler:
 
     def _execute(self, index: int) -> Task:
         cm = self.executor.cost_model
-        tracer = SSATracer(cost_model=cm)
+        tracer = SSATracer(cost_model=cm, metrics=self.metrics)
         result, meter = run_speculative(
             self.world, self.overlay, self.txs[index], self.env, cm, tracer=tracer
         )
@@ -86,6 +89,7 @@ class _ParallelEVMScheduler:
             kind="execute",
             duration_us=meter.total_us + cm.scheduler_slot_us,
             payload=(index, result, tracer),
+            tx_index=index,
         )
 
     # ------------------------------------------------------------- machine
@@ -98,7 +102,13 @@ class _ParallelEVMScheduler:
             self.redo_request = None
             result, tracer = self.exec_done[index]
             redo_meter = CostMeter()
-            outcome = redo(tracer.log, conflicts, meter=redo_meter, cost_model=cm)
+            outcome = redo(
+                tracer.log,
+                conflicts,
+                meter=redo_meter,
+                cost_model=cm,
+                metrics=self.metrics,
+            )
             duration = redo_meter.total_us
             if outcome.success:
                 duration += commit_cost_us(result, cm)
@@ -109,6 +119,7 @@ class _ParallelEVMScheduler:
                 kind="redo",
                 duration_us=duration + cm.scheduler_slot_us,
                 payload=(index, conflicts, outcome),
+                tx_index=index,
             )
 
         if (
@@ -128,6 +139,7 @@ class _ParallelEVMScheduler:
                 kind="validate",
                 duration_us=duration + cm.scheduler_slot_us,
                 payload=(index, conflicts),
+                tx_index=index,
             )
 
         if self.pending:
@@ -145,6 +157,7 @@ class _ParallelEVMScheduler:
             index, conflicts = task.payload
             if conflicts:
                 self.conflicting_txs += 1
+                record_conflict_keys(self.metrics, conflicts)
                 self.redo_request = (index, conflicts)
                 return
             self._commit(index)
@@ -181,10 +194,16 @@ class ParallelEVMExecutor(BlockExecutor):
 
     name = "parallelevm"
 
-    def __init__(self, threads: int = 16, cost_model=None, preexecute: bool = False):
+    def __init__(
+        self,
+        threads: int = 16,
+        cost_model=None,
+        preexecute: bool = False,
+        observer=None,
+    ):
         from ..sim.cost import DEFAULT_COST_MODEL
 
-        super().__init__(threads, cost_model or DEFAULT_COST_MODEL)
+        super().__init__(threads, cost_model or DEFAULT_COST_MODEL, observer=observer)
         self.preexecute = preexecute
 
     def execute_block(
@@ -203,26 +222,28 @@ class ParallelEVMExecutor(BlockExecutor):
                 scheduler.exec_done[index] = (result, tracer)
             scheduler.pending.clear()
 
-        makespan = SimMachine(self.threads).run(scheduler)
+        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
         results = [r for r in scheduler.results if r is not None]
         settle_fees(scheduler.overlay, world, results, env)
 
         redo_attempts = scheduler.redo_successes + scheduler.redo_failures
+        stats = {
+            "executions": scheduler.executions,
+            "conflicting_txs": scheduler.conflicting_txs,
+            "redo_attempts": redo_attempts,
+            "redo_successes": scheduler.redo_successes,
+            "redo_failures": scheduler.redo_failures,
+            "full_aborts": scheduler.full_aborts,
+            "redo_entries_total": scheduler.redo_entries_total,
+            "redo_time_us": scheduler.redo_time_us,
+            "log_entries_total": scheduler.log_entries_total,
+            "instructions_total": scheduler.instructions_total,
+        }
+        publish_stats(self.metrics, stats)
         return BlockResult(
             writes=dict(scheduler.overlay.items()),
             makespan_us=makespan,
             tx_results=results,
             threads=self.threads,
-            stats={
-                "executions": scheduler.executions,
-                "conflicting_txs": scheduler.conflicting_txs,
-                "redo_attempts": redo_attempts,
-                "redo_successes": scheduler.redo_successes,
-                "redo_failures": scheduler.redo_failures,
-                "full_aborts": scheduler.full_aborts,
-                "redo_entries_total": scheduler.redo_entries_total,
-                "redo_time_us": scheduler.redo_time_us,
-                "log_entries_total": scheduler.log_entries_total,
-                "instructions_total": scheduler.instructions_total,
-            },
+            stats=stats,
         )

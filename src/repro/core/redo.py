@@ -44,11 +44,17 @@ class RedoOutcome:
     updated_writes: dict[StateKey, object] = field(default_factory=dict)
 
 
+# Redo-slice size histogram edges (log entries re-executed per redo).  The
+# paper's §6.4 average is ~7 entries per conflicting transaction.
+REDO_SLICE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
 def redo(
     log: SSAOperationLog,
     conflicts: dict[StateKey, object],
     meter=None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    metrics=None,
 ) -> RedoOutcome:
     """Attempt to resolve ``conflicts`` by operation-level re-execution.
 
@@ -57,7 +63,29 @@ def redo(
     every key whose write chain was re-executed.  On failure the log is left
     in a partially updated state and must be discarded (the transaction is
     re-executed from scratch anyway).
+
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) receives
+    attempt/guard counters and the redo-slice size histogram.
     """
+    outcome = _redo(log, conflicts, meter, cost_model)
+    if metrics is not None:
+        metrics.counter(
+            "redo_success_total" if outcome.success else "redo_failure_total"
+        ).inc()
+        metrics.counter("redo_guards_checked_total").inc(outcome.guards_checked)
+        metrics.counter("redo_entries_reexecuted_total").inc(outcome.reexecuted)
+        metrics.histogram("redo_slice_entries", REDO_SLICE_BUCKETS).observe(
+            outcome.reexecuted
+        )
+    return outcome
+
+
+def _redo(
+    log: SSAOperationLog,
+    conflicts: dict[StateKey, object],
+    meter=None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> RedoOutcome:
     if not log.redoable:
         return RedoOutcome(False, reason="transaction contained a reverted frame")
 

@@ -40,6 +40,7 @@ class SSATracer:
         self,
         meter=None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        metrics=None,
     ) -> None:
         self.log = SSAOperationLog()
         self.meter = meter
@@ -49,6 +50,15 @@ class SSATracer:
         self._pending_returndata: dict[int, tuple[int, int]] = {}
         # Events seen (≈ opcodes traced) — the §6.4 tracking-overhead stat.
         self.events = 0
+        # Optional observability counters (repro.obs.MetricsRegistry),
+        # resolved once here so the per-event cost is a single attribute
+        # test + inc, and exactly zero when no registry is attached.
+        self._m_events = None if metrics is None else metrics.counter(
+            "ssa_events_total"
+        )
+        self._m_entries = None if metrics is None else metrics.counter(
+            "ssa_log_entries_total"
+        )
 
     # ------------------------------------------------------------- helpers
 
@@ -60,10 +70,14 @@ class SSATracer:
         self.events += 1
         if self.meter is not None:
             self.meter.charge_tracking(self.cm.shadow_event_us)
+        if self._m_events is not None:
+            self._m_events.inc()
 
     def _append(self, entry: LogEntry) -> int:
         if self.meter is not None:
             self.meter.charge_tracking(self.cm.log_entry_us, entries=1)
+        if self._m_entries is not None:
+            self._m_entries.inc()
         return self.log.append(entry)
 
     def _new_entry(self, opcode: int, **kwargs) -> LogEntry:

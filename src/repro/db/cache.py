@@ -61,3 +61,25 @@ class LRUCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Hit/miss counters as a plain dict (for metrics/JSON export)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def publish(self, metrics, name: str = "block_cache") -> None:
+        """Snapshot the counters into a :class:`repro.obs.MetricsRegistry`.
+
+        The cache is a hot path shared by every executor, so it is sampled
+        (after a run) rather than instrumented per access; ``metrics=None``
+        is a no-op so callers can publish unconditionally.
+        """
+        if metrics is None:
+            return
+        for field, value in self.as_dict().items():
+            metrics.gauge(f"{name}_{field}").set(value)

@@ -1,0 +1,49 @@
+"""Observability: simulated-time tracing, metrics, per-block reports.
+
+Three layers, all optional and zero-cost when unused:
+
+- :mod:`repro.obs.metrics` — a label-aware registry of counters, gauges and
+  fixed-bucket histograms with deterministic JSON export;
+- :mod:`repro.obs.trace` — a span recorder fed by the simulated machine's
+  ``Observer`` hook, exportable as Chrome trace-event JSON (open the file in
+  Perfetto or ``chrome://tracing``: one row per simulated worker);
+- :mod:`repro.obs.report` — per-block phase/utilization/conflict reports.
+
+Attach a :class:`BlockObserver` to any executor to light everything up::
+
+    from repro.obs import BlockObserver
+
+    observer = BlockObserver()
+    executor = ParallelEVMExecutor(threads=16, observer=observer)
+    result = executor.execute_block(world, block.txs, block.env)
+    observer.trace.write_chrome_trace("block.trace.json")
+    print(render_block_report(observer, result.makespan_us, 16))
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    commit_point_stall_us,
+    conflict_heatmap_table,
+    phase_breakdown_table,
+    redo_slice_table,
+    render_block_report,
+    utilization_table,
+)
+from .trace import BlockObserver, Observer, Span, TraceRecorder
+
+__all__ = [
+    "BlockObserver",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "TraceRecorder",
+    "commit_point_stall_us",
+    "conflict_heatmap_table",
+    "phase_breakdown_table",
+    "redo_slice_table",
+    "render_block_report",
+    "utilization_table",
+]

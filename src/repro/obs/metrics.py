@@ -1,0 +1,185 @@
+"""A label-aware metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the quantitative half of the observability layer (the other
+half is the span trace in :mod:`repro.obs.trace`).  Executors, the SSA
+tracer, the redo phase and the database cache all publish into one registry
+per instrumented block run, and the CLI/benchmark harness export it as JSON
+alongside the simulated makespans.
+
+Design constraints:
+
+- **Zero cost when absent.**  Nothing in the execution stack creates a
+  registry on its own; every instrumentation site is guarded by an
+  ``if metrics is not None`` (or holds a pre-resolved metric object), so
+  uninstrumented runs execute exactly the pre-observability code path.
+- **Deterministic export.**  ``as_dict()`` orders series by (name, labels);
+  two identical runs serialise to byte-identical JSON.
+- **Simulated time.**  All ``*_us`` series hold simulated microseconds, not
+  wall clock — the registry never reads a real clock.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Iterator, Sequence
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, entries, conflicts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def as_value(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (utilization, makespan, cache size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def as_value(self):
+        return self.value
+
+
+class Histogram:
+    """A fixed-bucket histogram (redo-slice sizes, span durations).
+
+    ``buckets`` are upper edges; one implicit overflow bucket catches
+    everything above the last edge.  Tracks count and sum so means are
+    recoverable without the raw samples.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        edges = list(buckets)
+        if edges != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_value(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric series of one instrumented run, keyed by labels."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------ creation
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(name, labels, Counter, lambda: Counter())
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(name, labels, Gauge, lambda: Gauge())
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], **labels: str
+    ) -> Histogram:
+        return self._get(name, labels, Histogram, lambda: Histogram(buckets))
+
+    def _get(self, name, labels, kind, factory):
+        key = (name, _label_key(labels))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = self._series[key] = factory()
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    # ------------------------------------------------------------- reading
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(self) -> Iterator[tuple[str, LabelKey, object]]:
+        """All series in deterministic (name, labels) order."""
+        for (name, key), metric in sorted(self._series.items()):
+            yield name, key, metric
+
+    def value(self, name: str, **labels: str):
+        """The exported value of one series (None if never created)."""
+        metric = self._series.get((name, _label_key(labels)))
+        return None if metric is None else metric.as_value()
+
+    def sum_by_name(self, name: str) -> float:
+        """Sum of a counter/gauge series across all label combinations."""
+        total = 0.0
+        for (series_name, _), metric in self._series.items():
+            if series_name == name and not isinstance(metric, Histogram):
+                total += metric.as_value()
+        return total
+
+    def labelled_values(self, name: str) -> dict[LabelKey, object]:
+        """``labels -> value`` for every series under ``name``."""
+        return {
+            key: metric.as_value()
+            for (series_name, key), metric in self._series.items()
+            if series_name == name
+        }
+
+    # ------------------------------------------------------------- export
+
+    def as_dict(self) -> dict:
+        """A flat, deterministically ordered ``series-name -> value`` dict."""
+        return {
+            _series_name(name, key): metric.as_value()
+            for name, key, metric in self.series()
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

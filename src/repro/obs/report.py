@@ -1,0 +1,164 @@
+"""Per-block observability reports rendered from a trace + metrics pair.
+
+Answers the questions the paper's §6 evaluation keeps asking of every
+configuration: where did the simulated time go (read vs validate vs redo),
+how busy was each worker, how long did the ordered commit point sit idle,
+which storage keys caused the conflicts, and how large were the redo
+slices.  Everything renders through :mod:`repro.bench.report` so block
+reports match the repo's experiment tables in style.
+"""
+
+from __future__ import annotations
+
+from ..bench.report import render_table
+from .metrics import MetricsRegistry
+from .trace import BlockObserver, Span, TraceRecorder
+
+# Task kinds that run at the ordered commit point (one in flight at a time).
+COMMIT_POINT_KINDS = frozenset({"validate", "redo", "commit"})
+
+
+def phase_breakdown_table(trace: TraceRecorder, makespan_us: float) -> str:
+    """Per-phase totals: tasks, busy time, share of total busy time."""
+    totals = trace.kind_totals_us()
+    counts: dict[str, int] = {}
+    for span in trace.spans:
+        counts[span.kind] = counts.get(span.kind, 0) + 1
+    busy = trace.busy_us() or 1.0
+    rows = [
+        [
+            kind,
+            counts[kind],
+            f"{totals[kind]:.1f}",
+            f"{totals[kind] / busy:.1%}",
+        ]
+        for kind in sorted(totals)
+    ]
+    rows.append(["(all)", len(trace.spans), f"{trace.busy_us():.1f}", "100.0%"])
+    return render_table(
+        f"Phase breakdown (makespan {makespan_us:.1f} us)",
+        ["phase", "tasks", "busy us", "share"],
+        rows,
+    )
+
+
+def utilization_table(
+    trace: TraceRecorder, threads: int, makespan_us: float
+) -> str:
+    """Per-worker busy time and utilization over the block's makespan."""
+    busy = trace.worker_busy_us()
+    horizon = makespan_us or 1.0
+    rows = []
+    for worker in range(threads):
+        worker_busy = busy.get(worker, 0.0)
+        rows.append([f"worker {worker}", f"{worker_busy:.1f}", f"{worker_busy / horizon:.1%}"])
+    total_busy = trace.busy_us()
+    rows.append(
+        ["(mean)", f"{total_busy / threads:.1f}", f"{total_busy / (horizon * threads):.1%}"]
+    )
+    return render_table(
+        f"Worker utilization ({threads} workers)",
+        ["worker", "busy us", "utilization"],
+        rows,
+    )
+
+
+def commit_point_stall_us(
+    trace: TraceRecorder, makespan_us: float, kinds: frozenset = COMMIT_POINT_KINDS
+) -> float:
+    """Simulated time the ordered commit point spent idle.
+
+    The commit point is the serial spine of every ordered-commit executor:
+    at most one validate/redo/commit task is in flight at any instant.  The
+    stall is the makespan minus the union coverage of those spans — time
+    during which no transaction was being validated, redone or committed.
+    """
+    intervals = sorted(
+        (span.start_us, span.end_us)
+        for span in trace.spans
+        if span.kind in kinds
+    )
+    covered = 0.0
+    cursor = 0.0
+    for start, end in intervals:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = end
+    return max(0.0, makespan_us - covered)
+
+
+def conflict_heatmap_table(
+    metrics: MetricsRegistry, top: int = 10
+) -> str | None:
+    """The hottest conflicting storage keys (``conflict_keys`` counters)."""
+    values = metrics.labelled_values("conflict_keys")
+    if not values:
+        return None
+    ranked = sorted(
+        ((count, dict(labels).get("key", "?")) for labels, count in values.items()),
+        key=lambda item: (-item[0], item[1]),
+    )
+    total = sum(count for count, _ in ranked) or 1
+    rows = [
+        [key, count, f"{count / total:.1%}"]
+        for count, key in ranked[:top]
+    ]
+    return render_table(
+        f"Conflict heatmap (top {min(top, len(ranked))} of {len(ranked)} keys)",
+        ["storage key", "conflicts", "share"],
+        rows,
+    )
+
+
+def redo_slice_table(metrics: MetricsRegistry) -> str | None:
+    """Redo-slice size distribution (``redo_slice_entries`` histogram)."""
+    hist = metrics.value("redo_slice_entries")
+    if hist is None or hist["count"] == 0:
+        return None
+    edges = hist["buckets"]
+    rows = []
+    lower = 0.0
+    for i, count in enumerate(hist["counts"]):
+        label = (
+            f"{lower:g}-{edges[i]:g}"
+            if i < len(edges)
+            else f">{edges[-1]:g}"
+        )
+        rows.append([label, count])
+        if i < len(edges):
+            lower = edges[i]
+    mean = hist["sum"] / hist["count"]
+    rows.append(["(mean entries)", f"{mean:.1f}"])
+    return render_table(
+        f"Redo slice sizes ({hist['count']} redos)",
+        ["entries re-executed", "redos"],
+        rows,
+    )
+
+
+def render_block_report(
+    observer: BlockObserver,
+    makespan_us: float,
+    threads: int,
+    title: str = "block report",
+) -> str:
+    """The full per-block report: phases, utilization, stalls, conflicts."""
+    parts = [
+        title,
+        "=" * len(title),
+        phase_breakdown_table(observer.trace, makespan_us),
+        utilization_table(observer.trace, threads, makespan_us),
+    ]
+    stall = commit_point_stall_us(observer.trace, makespan_us)
+    parts.append(
+        f"commit-point stall: {stall:.1f} us "
+        f"({stall / (makespan_us or 1.0):.1%} of makespan)"
+    )
+    heatmap = conflict_heatmap_table(observer.metrics)
+    if heatmap is not None:
+        parts.append(heatmap)
+    slices = redo_slice_table(observer.metrics)
+    if slices is not None:
+        parts.append(slices)
+    return "\n\n".join(parts)

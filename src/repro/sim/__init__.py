@@ -13,7 +13,16 @@ and thread scaling.
 """
 
 from .cost import CostModel
-from .meter import CostMeter
-from .machine import SimMachine, Task, list_schedule_makespan
+from .meter import NULL_METER, CostMeter, NullMeter
+from .machine import SimMachine, Task, list_schedule, list_schedule_makespan
 
-__all__ = ["CostModel", "CostMeter", "SimMachine", "Task", "list_schedule_makespan"]
+__all__ = [
+    "CostModel",
+    "CostMeter",
+    "NULL_METER",
+    "NullMeter",
+    "SimMachine",
+    "Task",
+    "list_schedule",
+    "list_schedule_makespan",
+]

@@ -8,7 +8,7 @@ The resulting totals become task durations on the simulated machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 
 @dataclass(slots=True)
@@ -48,31 +48,31 @@ class CostMeter:
     def total_us(self) -> float:
         return self.compute_us + self.storage_us + self.tracking_us
 
+    def as_dict(self) -> dict:
+        """Every charge field plus the derived total, for metrics export."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["total_us"] = self.total_us
+        return out
+
     def merged_with(self, other: "CostMeter") -> "CostMeter":
         """A new meter holding the sum of both meters' charges."""
         return CostMeter(
-            compute_us=self.compute_us + other.compute_us,
-            storage_us=self.storage_us + other.storage_us,
-            tracking_us=self.tracking_us + other.tracking_us,
-            ops=self.ops + other.ops,
-            storage_reads=self.storage_reads + other.storage_reads,
-            storage_cold_reads=self.storage_cold_reads + other.storage_cold_reads,
-            log_entries=self.log_entries + other.log_entries,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
 
 @dataclass(slots=True)
-class NullMeter:
-    """A meter that discards all charges (for cost-irrelevant executions)."""
+class NullMeter(CostMeter):
+    """A meter that discards all charges (for cost-irrelevant executions).
 
-    compute_us: float = 0.0
-    storage_us: float = 0.0
-    tracking_us: float = 0.0
-    ops: int = 0
-    storage_reads: int = 0
-    storage_cold_reads: int = 0
-    log_entries: int = 0
-    total_us: float = field(default=0.0)
+    Shares :class:`CostMeter`'s field definitions (all permanently zero)
+    rather than redeclaring them; only the charge methods are overridden to
+    no-ops.  Use the :data:`NULL_METER` singleton — a null meter carries no
+    state, so one instance serves every caller.
+    """
 
     def charge_compute(self, us: float, ops: int = 1) -> None:
         pass
@@ -82,3 +82,6 @@ class NullMeter:
 
     def charge_tracking(self, us: float, entries: int = 0) -> None:
         pass
+
+
+NULL_METER = NullMeter()

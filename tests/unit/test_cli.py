@@ -28,6 +28,23 @@ class TestParser:
             args = build_parser().parse_args(["experiment", name])
             assert args.name == name
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.executor == "parallelevm"
+        assert args.trace is None
+        assert args.metrics_json is None
+
+    def test_run_validates_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--executor", "nonsense"])
+
+    def test_all_run_executor_names_parse(self):
+        from repro.cli import RUN_EXECUTORS
+
+        for name in RUN_EXECUTORS:
+            args = build_parser().parse_args(["run", "--executor", name])
+            assert args.executor == name
+
 
 class TestCommands:
     def test_compare_small(self, capsys):
@@ -54,6 +71,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ok" in out
         assert "root" in out
+
+    def test_run_prints_report_and_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "--executor", "parallelevm",
+                "--txs", "12",
+                "--accounts", "60",
+                "--threads", "4",
+                "--trace", str(trace_path),
+                "--metrics-json", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "Worker utilization" in out
+        assert "commit-point stall" in out
+
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["threads"] == 4
+        assert metrics["makespan_us"] > 0
+        # Every span's duration is accounted to exactly one phase series.
+        phase_total = sum(
+            v for k, v in metrics.items() if k.startswith("phase_time_us{")
+        )
+        assert phase_total == pytest.approx(metrics["busy_us_total"])
+        assert sum(
+            v for k, v in metrics.items() if k.startswith("tasks_total{")
+        ) == len(spans)
+
+    def test_run_serial_executor(self, capsys):
+        code = main(
+            ["run", "--executor", "serial", "--txs", "8", "--accounts", "40"]
+        )
+        assert code == 0
+        assert "serial" in capsys.readouterr().out
 
     def test_replay_deterministic(self, capsys):
         argv = ["replay", "--count", "1", "--txs", "8", "--accounts", "40"]

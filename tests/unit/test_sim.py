@@ -7,10 +7,16 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
+from repro.obs import TraceRecorder
 from repro.sim.clock import SimClock
 from repro.sim.cost import CostModel
-from repro.sim.machine import SimMachine, Task, list_schedule_makespan
-from repro.sim.meter import CostMeter
+from repro.sim.machine import (
+    SimMachine,
+    Task,
+    list_schedule,
+    list_schedule_makespan,
+)
+from repro.sim.meter import NULL_METER, CostMeter, NullMeter
 
 
 class TestClock:
@@ -47,6 +53,31 @@ class TestMeter:
         b.charge_storage(2.0, cold=True)
         merged = a.merged_with(b)
         assert merged.total_us == pytest.approx(3.0)
+
+    def test_as_dict(self):
+        meter = CostMeter()
+        meter.charge_compute(1.5)
+        meter.charge_storage(20.0, cold=True)
+        d = meter.as_dict()
+        assert d["compute_us"] == pytest.approx(1.5)
+        assert d["storage_us"] == pytest.approx(20.0)
+        assert d["total_us"] == pytest.approx(21.5)
+        assert d["storage_cold_reads"] == 1
+
+
+class TestNullMeter:
+    def test_is_a_cost_meter(self):
+        assert isinstance(NULL_METER, CostMeter)
+
+    def test_charges_are_no_ops(self):
+        meter = NullMeter()
+        meter.charge_compute(5.0)
+        meter.charge_storage(38.0, cold=True)
+        meter.charge_tracking(1.0, entries=3)
+        assert meter.total_us == 0.0
+        assert meter.ops == 0
+        assert meter.log_entries == 0
+        assert all(v == 0 for v in meter.as_dict().values())
 
 
 class TestListSchedule:
@@ -166,6 +197,71 @@ class TestSimMachine:
     def test_zero_threads_rejected(self):
         with pytest.raises(SimulationError):
             SimMachine(0)
+
+    def test_zero_duration_tasks(self):
+        """Zero-cost tasks complete instantly without stalling the machine."""
+        scheduler = _BatchScheduler([0.0, 0.0, 2.0, 0.0])
+        assert SimMachine(2).run(scheduler) == pytest.approx(2.0)
+        assert len(scheduler.completed) == 4
+
+    def test_all_zero_duration(self):
+        scheduler = _BatchScheduler([0.0] * 5)
+        assert SimMachine(3).run(scheduler) == 0.0
+        assert len(scheduler.completed) == 5
+
+    def test_observer_sees_every_task(self):
+        durations = [3.0, 1.0, 4.0, 1.0, 5.0]
+        trace = TraceRecorder()
+        makespan = SimMachine(2, observer=trace).run(
+            _BatchScheduler(list(durations))
+        )
+        assert len(trace.spans) == len(durations)
+        assert trace.busy_us() == pytest.approx(sum(durations))
+        assert max(s.end_us for s in trace.spans) == pytest.approx(makespan)
+        for span in trace.spans:
+            assert 0 <= span.worker_id < 2
+            assert span.end_us >= span.start_us
+
+    def test_observer_does_not_change_makespan(self):
+        durations = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        bare = SimMachine(3).run(_BatchScheduler(list(durations)))
+        observed = SimMachine(3, observer=TraceRecorder()).run(
+            _BatchScheduler(list(durations))
+        )
+        assert bare == observed
+
+    def test_observed_trace_byte_identical_across_runs(self):
+        """Tie-breaking (equal finish times) must be deterministic, and the
+        exported trace must not leak run-varying state like task ids."""
+        durations = [2.0, 2.0, 2.0, 2.0, 1.0, 1.0]
+
+        def one_run() -> str:
+            trace = TraceRecorder()
+            SimMachine(2, observer=trace).run(_BatchScheduler(list(durations)))
+            return trace.to_chrome_json()
+
+        assert one_run() == one_run()
+
+
+class TestListSchedulePlacements:
+    def test_placements_cover_all_tasks(self):
+        makespan, placements = list_schedule([4.0, 3.0, 3.0], 2)
+        assert makespan == 6.0
+        assert [(w, s, e) for w, s, e in placements] == [
+            (0, 0.0, 4.0),
+            (1, 0.0, 3.0),
+            (1, 3.0, 6.0),
+        ]
+
+    def test_placements_agree_with_makespan(self):
+        durations = [5.0, 1.0, 2.0, 8.0, 1.0]
+        makespan, placements = list_schedule(durations, 3, per_task_overhead_us=0.5)
+        assert makespan == list_schedule_makespan(
+            durations, 3, per_task_overhead_us=0.5
+        )
+        assert max(end for _, _, end in placements) == makespan
+        for (_, start, end), duration in zip(placements, durations):
+            assert end - start == pytest.approx(duration + 0.5)
 
 
 class TestCostModel:
