@@ -1,0 +1,53 @@
+"""repro.check — the differential correctness harness.
+
+The repo-wide invariant (Theorem 1: every executor is equivalent to
+serial block-order execution) gets an automated hunter:
+
+- :mod:`repro.check.fuzzer` — seeded adversarial block generation over
+  the contract workloads plus nonce/balance/gas edge cases;
+- :mod:`repro.check.certify` — the serializability certifier comparing
+  every executor (and the scheduled-validator path) against serial on
+  write sets, receipts, gas, logs and state roots;
+- :mod:`repro.check.shrink` — ddmin minimization of failing blocks;
+- :mod:`repro.check.replay` — the SSA/redo slice-equivalence oracle
+  cross-checking every successful redo against re-execution;
+- :mod:`repro.check.mutations` — fault injection proving the harness
+  catches the bug class it exists for.
+
+CLI entry points: ``repro fuzz`` and ``repro certify``.
+"""
+
+from .certify import (
+    CERTIFIED_EXECUTORS,
+    CertificationReport,
+    Divergence,
+    block_to_json,
+    certify_block,
+)
+from .fuzzer import BlockFuzzer, FuzzConfig
+from .mutations import (
+    MUTATIONS,
+    SelfTestReport,
+    inject_conflict_bug,
+    mutation_self_test,
+)
+from .replay import RedoReplayChecker, ReplayDivergence
+from .shrink import ShrinkResult, shrink_block
+
+__all__ = [
+    "BlockFuzzer",
+    "CERTIFIED_EXECUTORS",
+    "CertificationReport",
+    "Divergence",
+    "FuzzConfig",
+    "MUTATIONS",
+    "RedoReplayChecker",
+    "ReplayDivergence",
+    "SelfTestReport",
+    "ShrinkResult",
+    "block_to_json",
+    "certify_block",
+    "inject_conflict_bug",
+    "mutation_self_test",
+    "shrink_block",
+]

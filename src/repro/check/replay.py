@@ -1,0 +1,101 @@
+"""The SSA/redo slice-equivalence oracle (Algorithm 1's cross-check).
+
+The redo phase claims that re-executing only the conflicting *slice* of a
+transaction's SSA operation log yields the same result as re-running the
+whole transaction against corrected state.  This module checks that claim
+on every successful redo: a :class:`RedoReplayChecker` attached to a
+:class:`~repro.core.executor.ParallelEVMExecutor` (via ``redo_checker``)
+re-executes the transaction from scratch over the same committed state the
+redo resolved against, and compares write sets, read sets, gas, success,
+logs and return data field by field.
+
+Any mismatch is a redo bug by definition — the guards of §5.2.4 were
+supposed to force a fall-back instead.  Checking perturbs simulated
+timing (the extra execution warms the world's cache) but never state, so
+the oracle belongs in correctness harnesses, not benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..concurrency.base import run_speculative
+from ..errors import ConcurrencyError
+from ..evm.message import BlockEnv, Transaction, TxResult
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..state.view import BlockOverlay
+from ..state.world import WorldState
+
+
+class ReplayDivergence(ConcurrencyError):
+    """A successful redo did not match from-scratch re-execution."""
+
+
+def _logs_of(result: TxResult) -> list[tuple]:
+    return [(log.address, tuple(log.topics), log.data) for log in result.logs]
+
+
+@dataclass
+class RedoReplayChecker:
+    """Cross-validates every successful redo against a fresh execution.
+
+    ``strict=True`` raises :class:`ReplayDivergence` on the first mismatch
+    (unit/integration tests); ``strict=False`` records divergences for the
+    certifier to report.  ``metrics`` (optional registry) receives
+    ``redo_replay_checks_total`` / ``redo_replay_divergences_total``.
+    """
+
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    strict: bool = True
+    metrics: object = None
+    checks: int = 0
+    divergences: list[str] = field(default_factory=list)
+
+    def check(
+        self,
+        world: WorldState,
+        overlay: BlockOverlay,
+        tx: Transaction,
+        env: BlockEnv,
+        redone: TxResult,
+    ) -> None:
+        """Compare ``redone`` (the post-redo result) with a fresh run."""
+        self.checks += 1
+        if self.metrics is not None:
+            self.metrics.counter("redo_replay_checks_total").inc()
+        fresh, _meter = run_speculative(world, overlay, tx, env, self.cost_model)
+
+        mismatches: list[str] = []
+        if redone.success != fresh.success:
+            mismatches.append(
+                f"success {redone.success} != {fresh.success}"
+            )
+        if redone.gas_used != fresh.gas_used:
+            mismatches.append(f"gas {redone.gas_used} != {fresh.gas_used}")
+        if redone.write_set != fresh.write_set:
+            keys = sorted(
+                k
+                for k in set(redone.write_set) | set(fresh.write_set)
+                if redone.write_set.get(k) != fresh.write_set.get(k)
+            )
+            mismatches.append(f"write_set differs on {keys[:4]}")
+        if redone.read_set != fresh.read_set:
+            keys = sorted(
+                k
+                for k in set(redone.read_set) | set(fresh.read_set)
+                if redone.read_set.get(k) != fresh.read_set.get(k)
+            )
+            mismatches.append(f"read_set differs on {keys[:4]}")
+        if _logs_of(redone) != _logs_of(fresh):
+            mismatches.append("log records differ")
+        if redone.return_data != fresh.return_data:
+            mismatches.append("return data differs")
+
+        if not mismatches:
+            return
+        message = f"redo of {tx.describe()} diverged: " + "; ".join(mismatches)
+        self.divergences.append(message)
+        if self.metrics is not None:
+            self.metrics.counter("redo_replay_divergences_total").inc()
+        if self.strict:
+            raise ReplayDivergence(message)

@@ -7,6 +7,8 @@ run          run one block under one executor with tracing/metrics attached
 experiment   run a named paper experiment (table1, fig11, ...), print it
 replay       replay a span of blocks with MPT state-root validation
 inspect      print the SSA operation log of one transaction and walk a redo
+fuzz         certify fuzzed adversarial blocks, shrinking/dumping failures
+certify      the serializability acceptance gate (fixed seed matrix)
 
 Every command is deterministic: the same arguments print the same numbers.
 """
@@ -208,6 +210,106 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from .check import (
+        BlockFuzzer,
+        FuzzConfig,
+        block_to_json,
+        certify_block,
+        shrink_block,
+    )
+    from .obs import MetricsRegistry, certification_table
+
+    fuzzer = BlockFuzzer(FuzzConfig(txs_per_block=args.txs))
+    metrics = MetricsRegistry()
+    failures = 0
+    for seed in range(args.seed, args.seed + args.blocks):
+        block = fuzzer.block(seed)
+        report = certify_block(
+            fuzzer.chain, block, threads=args.threads, metrics=metrics
+        )
+        if report.ok:
+            print(
+                f"seed {seed}: ok ({report.tx_count} txs, "
+                f"{report.redo_replays} redo replays)"
+            )
+            continue
+        failures += 1
+        print(report.describe(), file=sys.stderr)
+        dump_block, dump_report = block, report
+        if args.shrink:
+            shrunk = shrink_block(
+                block,
+                lambda candidate: not certify_block(
+                    fuzzer.chain,
+                    candidate,
+                    threads=args.threads,
+                    check_roots=False,
+                ).ok,
+            )
+            dump_block = shrunk.block
+            dump_report = certify_block(
+                fuzzer.chain, shrunk.block, threads=args.threads
+            )
+            print(
+                f"seed {seed}: shrunk {shrunk.original_tx_count} -> "
+                f"{shrunk.tx_count} txs in {shrunk.attempts} runs",
+                file=sys.stderr,
+            )
+        if args.dump:
+            os.makedirs(args.dump, exist_ok=True)
+            path = os.path.join(args.dump, f"repro-seed{seed}.json")
+            with open(path, "w") as fh:
+                fh.write(block_to_json(dump_block, dump_report))
+            print(f"seed {seed}: minimized repro -> {path}", file=sys.stderr)
+    table = certification_table(metrics)
+    if table is not None:
+        print("\n" + table)
+    return 1 if failures else 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .check import (
+        MUTATIONS,
+        BlockFuzzer,
+        FuzzConfig,
+        certify_block,
+        mutation_self_test,
+    )
+    from .obs import MetricsRegistry, certification_table
+
+    if args.self_test:
+        chain = standard_chain(accounts=64)
+        all_caught = True
+        for mutation in sorted(MUTATIONS):
+            outcome = mutation_self_test(
+                chain, mutation=mutation, threads=args.threads
+            )
+            print(outcome.describe())
+            all_caught = all_caught and outcome.caught
+        return 0 if all_caught else 1
+
+    fuzzer = BlockFuzzer(FuzzConfig(txs_per_block=args.txs))
+    metrics = MetricsRegistry()
+    failed: list[int] = []
+    for seed in range(args.seed, args.seed + args.blocks):
+        report = certify_block(
+            fuzzer.chain, fuzzer.block(seed), threads=args.threads, metrics=metrics
+        )
+        if not report.ok:
+            failed.append(seed)
+            print(report.describe(), file=sys.stderr)
+    table = certification_table(metrics)
+    if table is not None:
+        print(table)
+    if failed:
+        print(f"FAILED seeds: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +357,37 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--tx-index", type=int, default=0)
     inspect.add_argument("--accounts", type=int, default=200)
     inspect.set_defaults(func=_cmd_inspect)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="certify fuzzed adversarial blocks, shrink/dump failures"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="first fuzz seed")
+    fuzz.add_argument("--blocks", type=int, default=5, help="seeds to run")
+    fuzz.add_argument("--txs", type=int, default=40)
+    fuzz.add_argument("--threads", type=int, default=8)
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="ddmin-minimize any failing block to a 1-minimal repro",
+    )
+    fuzz.add_argument(
+        "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    certify = sub.add_parser(
+        "certify", help="serializability acceptance gate (fixed seed matrix)"
+    )
+    certify.add_argument("--seed", type=int, default=0)
+    certify.add_argument("--blocks", type=int, default=50)
+    certify.add_argument("--txs", type=int, default=40)
+    certify.add_argument("--threads", type=int, default=8)
+    certify.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject known conflict-detection bugs; prove the oracle catches them",
+    )
+    certify.set_defaults(func=_cmd_certify)
 
     return parser
 

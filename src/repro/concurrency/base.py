@@ -111,6 +111,24 @@ def run_speculative(
     return result, meter
 
 
+_OVERLAY_MISS = object()
+
+
+def overlay_get(overlay: BlockOverlay, world: WorldState, key: StateKey):
+    """Committed value of ``key`` (overlay first, then world).
+
+    The single definition of "current committed state" used by validation
+    and fee settlement.  The world read is deliberately meter-free: these
+    lookups are costed in bulk (``validation_cost_us``) rather than per
+    simulated cache probe, and the read still warms the world's cache the
+    way a real validation pass would.
+    """
+    value = overlay.get(key, _OVERLAY_MISS)
+    if value is _OVERLAY_MISS:
+        return world.read(key)
+    return value
+
+
 def find_conflicts(
     read_set: dict[StateKey, object],
     world: WorldState,
@@ -123,15 +141,10 @@ def find_conflicts(
     """
     conflicts: dict[StateKey, object] = {}
     for key, observed in read_set.items():
-        current = overlay.get(key, _OVERLAY_MISS)
-        if current is _OVERLAY_MISS:
-            current = world.read(key)
+        current = overlay_get(overlay, world, key)
         if current != observed:
             conflicts[key] = current
     return conflicts
-
-
-_OVERLAY_MISS = object()
 
 
 def validation_cost_us(result: TxResult, cost_model: CostModel) -> float:
@@ -150,23 +163,17 @@ def settle_fees(
     results: list[TxResult],
     env: BlockEnv,
 ) -> None:
-    """Credit the accumulated gas fees to the coinbase, once per block."""
+    """Credit the accumulated gas fees to the coinbase, once per block.
+
+    Published via :meth:`BlockOverlay.update`, not ``apply``: the
+    settlement is a block-level adjustment, not a committed transaction,
+    and must not inflate ``committed_count``.
+    """
     total = sum(r.gas_used * r.tx.gas_price for r in results)
     if total == 0:
         return
     key = balance_key(env.coinbase)
-    current = overlay.get(key, _OVERLAY_MISS)
-    if current is _OVERLAY_MISS:
-        current = world.read(key)
-    overlay.apply({key: current + total})
-
-
-def overlay_get(overlay: BlockOverlay, world: WorldState, key: StateKey):
-    """Committed value of ``key`` (overlay first, then world)."""
-    value = overlay.get(key, _OVERLAY_MISS)
-    if value is _OVERLAY_MISS:
-        return world.read(key)
-    return value
+    overlay.update({key: overlay_get(overlay, world, key) + total})
 
 
 def publish_stats(metrics, stats: dict, prefix: str = "stats_") -> None:

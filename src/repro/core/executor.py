@@ -171,6 +171,16 @@ class _ParallelEVMScheduler:
             self.redo_successes += 1
             result.write_set.update(outcome.updated_writes)
             result.read_set.update(conflicts)
+            if outcome.updated_return_data is not None:
+                result.return_data = outcome.updated_return_data
+            checker = self.executor.redo_checker
+            if checker is not None:
+                # Differential oracle (repro.check): cross-validate the
+                # redone result against a from-scratch re-execution over
+                # the same committed state, before it can be committed.
+                checker.check(
+                    self.world, self.overlay, self.txs[index], self.env, result
+                )
             self._commit(index)
             return
         # Constraint guard violated: abort, full re-execution (write phase).
@@ -200,11 +210,19 @@ class ParallelEVMExecutor(BlockExecutor):
         cost_model=None,
         preexecute: bool = False,
         observer=None,
+        redo_checker=None,
     ):
         from ..sim.cost import DEFAULT_COST_MODEL
 
         super().__init__(threads, cost_model or DEFAULT_COST_MODEL, observer=observer)
         self.preexecute = preexecute
+        # Optional slice-equivalence oracle (repro.check.replay): called
+        # with (world, overlay, tx, env, result) after every successful
+        # redo, before the result commits.  Checking re-executes the
+        # transaction against the live world, which warms its cache —
+        # state outcomes are unchanged but makespans are perturbed, so
+        # attach one only in correctness harnesses, never in benchmarks.
+        self.redo_checker = redo_checker
 
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv

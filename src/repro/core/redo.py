@@ -16,7 +16,11 @@ phase:
    failing the redo on any gas-flow violation.
 
 A failure returns ``success=False`` and the transaction falls back to a
-full re-execution in the write phase, exactly as in the paper.
+full re-execution in the write phase, exactly as in the paper.  Because
+the replay patches entry results in place *before* it can discover a guard
+violation, a failed redo leaves the log partially mutated; :func:`redo`
+therefore poisons the log on failure so any further attempt is refused
+rather than replayed over incoherent state.
 """
 
 from __future__ import annotations
@@ -42,6 +46,8 @@ class RedoOutcome:
     reason: str | None = None
     # Keys whose final written value changed during the redo.
     updated_writes: dict[StateKey, object] = field(default_factory=dict)
+    # Corrected top-level return buffer, when a RETDATA entry was affected.
+    updated_return_data: bytes | None = None
 
 
 # Redo-slice size histogram edges (log entries re-executed per redo).  The
@@ -59,15 +65,19 @@ def redo(
     """Attempt to resolve ``conflicts`` by operation-level re-execution.
 
     On success, entry results in ``log`` are updated in place, LOG records
-    are rewritten, and ``updated_writes`` holds the corrected final value of
-    every key whose write chain was re-executed.  On failure the log is left
-    in a partially updated state and must be discarded (the transaction is
-    re-executed from scratch anyway).
+    are rewritten, ``updated_writes`` holds the corrected final value of
+    every key whose write chain was re-executed, and ``updated_return_data``
+    carries the corrected top-level return buffer when it was affected.  On failure the log has
+    been partially mutated and is **poisoned**: every subsequent redo
+    attempt on it fails immediately (the transaction must be re-executed
+    from scratch, which produces a fresh log).
 
     ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) receives
     attempt/guard counters and the redo-slice size histogram.
     """
     outcome = _redo(log, conflicts, meter, cost_model)
+    if not outcome.success:
+        log.poisoned = True
     if metrics is not None:
         metrics.counter(
             "redo_success_total" if outcome.success else "redo_failure_total"
@@ -86,6 +96,10 @@ def _redo(
     meter=None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
 ) -> RedoOutcome:
+    if log.poisoned:
+        return RedoOutcome(
+            False, reason="log was poisoned by an earlier failed redo"
+        )
     if not log.redoable:
         return RedoOutcome(False, reason="transaction contained a reverted frame")
 
@@ -217,6 +231,11 @@ def _reexecute(
 
     if opcode == Op.SHA3:
         entry.result = int.from_bytes(keccak256(_patched_buffer(log, entry)), "big")
+        return None
+
+    if opcode == PseudoOp.RETDATA:
+        entry.result = _patched_buffer(log, entry)
+        outcome.updated_return_data = entry.result
         return None
 
     if opcode == PseudoOp.LOGDATA:

@@ -39,6 +39,7 @@ class PseudoOp(IntEnum):
     ILOAD = 0x103  # intrinsic committed-state load (balance/nonce)
     ISTORE = 0x104  # intrinsic state store
     LOGDATA = 0x105  # a LOG whose topics/payload depend on prior entries
+    RETDATA = 0x106  # the top-level RETURN buffer, when storage-dependent
 
 
 # def_memory dependency: bytes [start:start+length) of the op's input buffer
@@ -90,6 +91,10 @@ class SSAOperationLog:
         # whose effects were partially rolled back, so the redo phase must
         # decline and fall back to full re-execution.
         self.redoable: bool = True
+        # Set True by a *failed* redo: entry results were partially patched
+        # before the failure, so the log no longer describes any coherent
+        # execution and every further redo attempt must be refused.
+        self.poisoned: bool = False
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -398,6 +398,25 @@ class SSATracer:
         if size_shadow is not None:
             self._guard_eq(size, size_shadow)
         self._pending_returndata = self._top.capture_region(offset, size)
+        if opcode == Op.RETURN and len(self.frames) == 1:
+            # The top-level RETURN buffer becomes the receipt's return data.
+            # When it depends on storage (an AMM swap returning amountOut
+            # computed from the reserves), a redo that corrects those loads
+            # must also rewrite the buffer — so it gets a log entry exactly
+            # like LOGDATA payloads do.  Inner frames need no entry: their
+            # buffers only matter through RETURNDATACOPY, which the caller's
+            # shadow memory already tracks per byte.
+            deps = self._top.memory_deps(offset, size)
+            if deps:
+                data = bytes(frame.memory.read(offset, size))
+                self._append(
+                    self._new_entry(
+                        PseudoOp.RETDATA,
+                        operands=(data,),
+                        def_memory=deps,
+                        result=data,
+                    )
+                )
 
     # ----------------------------------------------------- intrinsic traffic
 

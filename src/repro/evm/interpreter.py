@@ -839,8 +839,17 @@ def execute_transaction(
                 view.revert_to(mark)
                 error = "execution reverted"
     else:
-        # Value burn (no recipient); kept for completeness.
-        view.write(sender_bkey, view.read(sender_bkey) - tx.value)
+        # Value burn (no recipient).  The deduction must be traced as an
+        # intrinsic RMW like any transfer leg: an untraced write here
+        # leaves the SSA log blind to the burn, so a later conflict on the
+        # sender's balance would redo the fee chain from the *committed*
+        # value and silently resurrect the burned amount (found by the
+        # repro.check differential harness).  The upfront solvency guard
+        # above already covers value + fees, so no extra minimum applies.
+        balance = view.read(sender_bkey)
+        if tracer is not None:
+            tracer.trace_intrinsic_rmw(sender_bkey, balance, -tx.value, minimum=None)
+        view.write(sender_bkey, balance - tx.value)
 
     gas_used = tx.gas_limit - gas_left
 

@@ -22,6 +22,7 @@ Attach a :class:`BlockObserver` to any executor to light everything up::
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
+    certification_table,
     commit_point_stall_us,
     conflict_heatmap_table,
     phase_breakdown_table,
@@ -40,6 +41,7 @@ __all__ = [
     "Observer",
     "Span",
     "TraceRecorder",
+    "certification_table",
     "commit_point_stall_us",
     "conflict_heatmap_table",
     "phase_breakdown_table",

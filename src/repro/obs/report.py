@@ -137,6 +137,37 @@ def redo_slice_table(metrics: MetricsRegistry) -> str | None:
     )
 
 
+def certification_table(metrics: MetricsRegistry) -> str | None:
+    """Summary of a ``repro.check`` certification run (``certify_*`` series).
+
+    One row per headline counter, then one per (executor, field) divergence
+    series — empty divergence rows mean Theorem 1 held on every block.
+    """
+    blocks = metrics.value("certify_blocks_total")
+    if blocks is None:
+        return None
+    rows: list[list] = [
+        ["blocks certified", int(blocks)],
+        ["blocks failed", int(metrics.value("certify_failed_blocks_total") or 0)],
+        [
+            "redo replays cross-checked",
+            int(metrics.value("certify_redo_replays_total") or 0),
+        ],
+    ]
+    divergences = metrics.labelled_values("certify_divergences_total")
+    for labels, count in sorted(divergences.items()):
+        info = dict(labels)
+        rows.append(
+            [
+                f"divergence {info.get('executor', '?')}/{info.get('field', '?')}",
+                int(count),
+            ]
+        )
+    return render_table(
+        "Serializability certification", ["measure", "count"], rows
+    )
+
+
 def render_block_report(
     observer: BlockObserver,
     makespan_us: float,

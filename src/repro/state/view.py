@@ -42,6 +42,14 @@ class BlockOverlay:
         self._data.update(writes)
         self.committed_count += 1
 
+    def update(self, writes: Mapping[StateKey, object]) -> None:
+        """Publish block-level writes that are not a transaction commit.
+
+        Fee settlement and similar once-per-block adjustments go through
+        here so ``committed_count`` stays an exact transaction count.
+        """
+        self._data.update(writes)
+
     def items(self):
         return self._data.items()
 

@@ -45,6 +45,18 @@ class TestParser:
             args = build_parser().parse_args(["run", "--executor", name])
             assert args.executor == name
 
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seed == 0
+        assert args.blocks == 5
+        assert not args.shrink
+        assert args.dump is None
+
+    def test_certify_defaults(self):
+        args = build_parser().parse_args(["certify"])
+        assert args.blocks == 50
+        assert not args.self_test
+
 
 class TestCommands:
     def test_compare_small(self, capsys):
@@ -116,6 +128,13 @@ class TestCommands:
         )
         assert code == 0
         assert "serial" in capsys.readouterr().out
+
+    def test_fuzz_small(self, capsys):
+        code = main(["fuzz", "--blocks", "1", "--txs", "10", "--threads", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed 0: ok" in out
+        assert "Serializability certification" in out
 
     def test_replay_deterministic(self, capsys):
         argv = ["replay", "--count", "1", "--txs", "8", "--accounts", "40"]

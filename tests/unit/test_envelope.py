@@ -130,3 +130,33 @@ class TestResultBookkeeping:
         tx = Transaction(sender=SENDER, to=RECIPIENT, value=1, gas_limit=21_000)
         result = execute_transaction(view, tx, env)
         assert balance_key(env.coinbase) not in result.write_set
+
+
+class TestFeeSettlement:
+    def test_settle_fees_does_not_inflate_committed_count(self):
+        # Regression: fee settlement used BlockOverlay.apply, counting the
+        # once-per-block adjustment as a committed transaction.
+        from repro.concurrency.base import overlay_get, settle_fees
+        from repro.state.view import BlockOverlay
+
+        world = funded_world()
+        env = BlockEnv(coinbase=make_address(0xC0FFEE))
+        tx = Transaction(sender=SENDER, to=RECIPIENT, value=1, gas_limit=21_000)
+        result, _ = run(world, tx)
+        overlay = BlockOverlay()
+        overlay.apply(result.write_set)
+        assert overlay.committed_count == 1
+        settle_fees(overlay, world, [result], env)
+        assert overlay.committed_count == 1
+        coinbase = balance_key(env.coinbase)
+        assert overlay_get(overlay, world, coinbase) == (
+            result.gas_used * tx.gas_price
+        )
+
+    def test_zero_fee_block_writes_nothing(self):
+        from repro.concurrency.base import settle_fees
+        from repro.state.view import BlockOverlay
+
+        overlay = BlockOverlay()
+        settle_fees(overlay, funded_world(), [], BlockEnv())
+        assert len(overlay) == 0

@@ -10,7 +10,7 @@ from repro.evm.interpreter import execute_transaction
 from repro.evm.message import BlockEnv, Transaction
 from repro.primitives import make_address
 from repro.state import StateView, WorldState
-from repro.state.keys import storage_key
+from repro.state.keys import balance_key, storage_key
 
 CONTRACT = make_address(0xED9E)
 SENDER = make_address(0x5E4D)
@@ -161,6 +161,77 @@ class TestControlFlowGuards:
         outcome = redo(log, {key(1): 50})  # now >= 10: other path
         assert not outcome.success
         assert "ASSERT_EQ" in outcome.reason
+
+
+class TestPoisonedLog:
+    """A failed redo leaves entry results partially patched; the log must
+    refuse every later attempt instead of replaying incoherent state."""
+
+    SRC = TestControlFlowGuards.SRC
+
+    def test_failed_redo_poisons_the_log(self):
+        log, _, _ = trace(self.SRC, storage={1: 3, 2: 1})
+        assert not redo(log, {key(1): 50}).success  # branch flip
+        assert log.poisoned
+
+    def test_poisoned_log_refuses_benign_conflicts(self):
+        log, _, _ = trace(self.SRC, storage={1: 3, 2: 1})
+        assert redo(log, {key(1): 4}).success  # sanity: benign on fresh log
+        log2, _, _ = trace(self.SRC, storage={1: 3, 2: 1})
+        assert not redo(log2, {key(1): 50}).success
+        outcome = redo(log2, {key(1): 4})
+        assert not outcome.success
+        assert "poisoned" in outcome.reason
+
+
+class TestReturnDataRedo:
+    """The top-level RETURN buffer is part of the receipt: when it depends
+    on conflicting storage, the redo must rewrite it (the AMM ``swap``
+    amountOut bug found by the repro.check harness)."""
+
+    SRC = "PUSH 1 SLOAD PUSH0 MSTORE PUSH 32 PUSH0 RETURN"
+
+    def test_storage_dependent_return_is_repatched(self):
+        log, result, _ = trace(self.SRC, storage={1: 42})
+        assert result.return_data == (42).to_bytes(32, "big")
+        outcome = redo(log, {key(1): 99})
+        assert outcome.success, outcome.reason
+        assert outcome.updated_return_data == (99).to_bytes(32, "big")
+
+    def test_constant_return_carries_no_update(self):
+        src = (
+            "PUSH 1 SLOAD PUSH 2 SSTORE "
+            "PUSH 7 PUSH0 MSTORE PUSH 32 PUSH0 RETURN"
+        )
+        log, result, _ = trace(src, storage={1: 5, 2: 1})
+        assert result.return_data == (7).to_bytes(32, "big")
+        outcome = redo(log, {key(1): 9})
+        assert outcome.success
+        assert outcome.updated_return_data is None
+        assert outcome.updated_writes[key(2)] == 9
+
+
+class TestBurnIntrinsicTracing:
+    """A value burn (to=None) must trace its deduction as an intrinsic RMW:
+    an untraced write would let a redo of the fee chain silently resurrect
+    the burned amount (found by the repro.check harness)."""
+
+    def test_burn_redo_preserves_the_burn(self):
+        world = WorldState()
+        world.set_balance(SENDER, 10 * ETHER)
+        tracer = SSATracer()
+        view = StateView(world)
+        tx = Transaction(sender=SENDER, to=None, value=ETHER, gas_limit=21_000)
+        result = execute_transaction(view, tx, BlockEnv(), tracer=tracer)
+        assert result.success, result.error
+        fee = result.gas_used * tx.gas_price
+        bkey = balance_key(SENDER)
+        assert result.write_set[bkey] == 10 * ETHER - ETHER - fee
+        # The committed balance was actually 12 ETHER when this speculation
+        # validated: the corrected final balance must still lack the burn.
+        outcome = redo(tracer.log, {bkey: 12 * ETHER})
+        assert outcome.success, outcome.reason
+        assert outcome.updated_writes[bkey] == 12 * ETHER - ETHER - fee
 
 
 class TestDataFlowGuards:
