@@ -12,9 +12,12 @@ serial block-order execution) gets an automated hunter:
 - :mod:`repro.check.replay` — the SSA/redo slice-equivalence oracle
   cross-checking every successful redo against re-execution;
 - :mod:`repro.check.mutations` — fault injection proving the harness
-  catches the bug class it exists for.
+  catches the bug class it exists for;
+- :mod:`repro.check.chaos` — the certifier under systematic fault
+  injection (:mod:`repro.resilience`): every executor must survive every
+  chaos scenario and still match serial state, receipts and gas.
 
-CLI entry points: ``repro fuzz`` and ``repro certify``.
+CLI entry points: ``repro fuzz``, ``repro certify`` and ``repro chaos``.
 """
 
 from .certify import (
@@ -23,6 +26,12 @@ from .certify import (
     Divergence,
     block_to_json,
     certify_block,
+)
+from .chaos import (
+    CHAOS_EXECUTORS,
+    ChaosBlockReport,
+    chaos_executors,
+    run_chaos_block,
 )
 from .fuzzer import BlockFuzzer, FuzzConfig
 from .mutations import (
@@ -37,7 +46,10 @@ from .shrink import ShrinkResult, shrink_block
 __all__ = [
     "BlockFuzzer",
     "CERTIFIED_EXECUTORS",
+    "CHAOS_EXECUTORS",
     "CertificationReport",
+    "ChaosBlockReport",
+    "chaos_executors",
     "Divergence",
     "FuzzConfig",
     "MUTATIONS",
@@ -49,5 +61,6 @@ __all__ = [
     "certify_block",
     "inject_conflict_bug",
     "mutation_self_test",
+    "run_chaos_block",
     "shrink_block",
 ]

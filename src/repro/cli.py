@@ -8,6 +8,7 @@ experiment   run a named paper experiment (table1, fig11, ...), print it
 replay       replay a span of blocks with MPT state-root validation
 inspect      print the SSA operation log of one transaction and walk a redo
 fuzz         certify fuzzed adversarial blocks, shrinking/dumping failures
+chaos        certify blocks with every executor under fault injection
 certify      the serializability acceptance gate (fixed seed matrix)
 
 Every command is deterministic: the same arguments print the same numbers.
@@ -270,6 +271,94 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from .check import (
+        BlockFuzzer,
+        FuzzConfig,
+        block_to_json,
+        run_chaos_block,
+        shrink_block,
+    )
+    from .obs import MetricsRegistry, degradation_table
+    from .resilience import SCENARIOS, default_suite
+
+    scenarios = (
+        default_suite()
+        if args.scenario == "all"
+        else [SCENARIOS[args.scenario]]
+    )
+    fuzzer = BlockFuzzer(FuzzConfig(txs_per_block=args.txs))
+    metrics = MetricsRegistry()
+    failures = 0
+    for seed in range(args.seed, args.seed + args.blocks):
+        block = fuzzer.block(seed)
+        for scenario in scenarios:
+            report = run_chaos_block(
+                fuzzer.chain,
+                block,
+                scenario,
+                seed=seed,
+                threads=args.threads,
+                redo_budget=args.budget,
+                metrics=metrics,
+            )
+            if report.ok:
+                print(report.describe())
+                continue
+            failures += 1
+            print(report.describe(), file=sys.stderr)
+            dump_block, dump_cert = block, report.certification
+            if args.shrink:
+                shrunk = shrink_block(
+                    block,
+                    lambda candidate: not run_chaos_block(
+                        fuzzer.chain,
+                        candidate,
+                        scenario,
+                        seed=seed,
+                        threads=args.threads,
+                        redo_budget=args.budget,
+                        check_roots=False,
+                    ).ok,
+                )
+                dump_block = shrunk.block
+                dump_cert = run_chaos_block(
+                    fuzzer.chain,
+                    shrunk.block,
+                    scenario,
+                    seed=seed,
+                    threads=args.threads,
+                    redo_budget=args.budget,
+                ).certification
+                print(
+                    f"chaos[{scenario.name}] seed {seed}: shrunk "
+                    f"{shrunk.original_tx_count} -> {shrunk.tx_count} txs "
+                    f"in {shrunk.attempts} runs",
+                    file=sys.stderr,
+                )
+            if args.dump:
+                os.makedirs(args.dump, exist_ok=True)
+                path = os.path.join(
+                    args.dump, f"chaos-{scenario.name}-seed{seed}.json"
+                )
+                with open(path, "w") as fh:
+                    fh.write(block_to_json(dump_block, dump_cert))
+                print(
+                    f"chaos[{scenario.name}] seed {seed}: "
+                    f"minimized repro -> {path}",
+                    file=sys.stderr,
+                )
+    table = degradation_table(metrics)
+    if table is not None:
+        print("\n" + table)
+    if args.metrics_json:
+        metrics.write_json(args.metrics_json)
+        print(f"metrics: {len(metrics.as_dict())} series -> {args.metrics_json}")
+    return 1 if failures else 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from .check import (
         MUTATIONS,
@@ -374,6 +463,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    from .resilience import SCENARIOS
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="certify fuzzed blocks with every executor under fault injection",
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS) + ["all"],
+        default="all",
+        help="chaos scenario to inject (default: the whole catalogue)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="first chaos seed")
+    chaos.add_argument("--blocks", type=int, default=3, help="seeds to run")
+    chaos.add_argument("--txs", type=int, default=24)
+    chaos.add_argument("--threads", type=int, default=8)
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="override the per-transaction redo budget",
+    )
+    chaos.add_argument(
+        "--shrink",
+        action="store_true",
+        help="ddmin-minimize any failing block to a 1-minimal repro",
+    )
+    chaos.add_argument(
+        "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
+    )
+    chaos.add_argument(
+        "--metrics-json", metavar="FILE", help="write the metrics registry as JSON"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     certify = sub.add_parser(
         "certify", help="serializability acceptance gate (fixed seed matrix)"

@@ -22,11 +22,18 @@ Key decisions common to all algorithms:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..errors import (
+    AbortStormDetected,
+    BlockDeadlineExceeded,
+    TransientStorageError,
+)
 from ..evm.interpreter import execute_transaction
 from ..evm.message import BlockEnv, Transaction, TxResult
 from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..sim.machine import Task
 from ..sim.meter import CostMeter
 from ..state.keys import StateKey, balance_key
 from ..state.view import BlockOverlay, StateView
@@ -57,6 +64,13 @@ class BlockExecutor(ABC):
     task as a simulated-time span.  It is pure metadata — attaching one must
     never change makespans, and the default ``None`` keeps every
     instrumentation site on the uninstrumented fast path.
+
+    ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) switches the
+    executor into chaos mode, and ``recovery`` (a
+    :class:`repro.resilience.RecoveryPolicy`, defaulting to the plan's) sets
+    the escalation-ladder knobs.  Both default to ``None``, and every hook
+    they feed is ``None``-guarded, so an unfaulted run's makespans stay
+    bit-identical to a build without the resilience layer.
     """
 
     name: str = "base"
@@ -66,15 +80,118 @@ class BlockExecutor(ABC):
         threads: int = 16,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         observer=None,
+        fault_plan=None,
+        recovery=None,
     ) -> None:
         self.threads = threads
         self.cost_model = cost_model
         self.observer = observer
+        self.fault_plan = fault_plan
+        if recovery is None and fault_plan is not None:
+            recovery = fault_plan.recovery
+        self.recovery = recovery
 
     @property
     def metrics(self):
         """The observer's metrics registry, or None when unobserved."""
         return getattr(self.observer, "metrics", None)
+
+    @contextmanager
+    def storage_faults(self, world: WorldState):
+        """Install the plan's storage injector on the world's store.
+
+        The injector rides on ``world.db.faults`` for the duration of the
+        parallel attempt and is *always* uninstalled on the way out —
+        including the exceptional path into the serial fallback, which must
+        run fault-free to be a guarantee rather than a gamble.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            yield
+            return
+        db = world.db
+        previous = db.faults
+        db.faults = plan.storage
+        try:
+            yield
+        finally:
+            db.faults = previous
+
+    def guarded_block(
+        self,
+        world: WorldState,
+        txs: list[Transaction],
+        env: BlockEnv,
+        run,
+    ) -> BlockResult:
+        """Run ``run()`` under the serial-fallback guarantee.
+
+        ``run`` is the executor's parallel attempt.  Storage faults are
+        installed around it; if it degrades past the point of recovery —
+        the deadline watchdog fires, Block-STM detects an abort storm, or a
+        storage read fails past its retry budget — the whole block is
+        re-executed serially with fault injection suspended, and the
+        fallback's makespan is charged on top of the simulated time the
+        doomed parallel attempt burned.  Every executor routes through
+        here, which is what makes "all executors complete under every
+        scenario with serial-equivalent state" a structural property
+        instead of six separate promises.
+        """
+        plan = self.fault_plan
+        try:
+            with self.storage_faults(world):
+                result = run()
+        except (
+            BlockDeadlineExceeded,
+            AbortStormDetected,
+            TransientStorageError,
+        ) as exc:
+            result = self._serial_fallback(world, txs, env, exc)
+        if plan is not None:
+            plan.publish(self.metrics, executor=self.name)
+        return result
+
+    def _serial_fallback(
+        self,
+        world: WorldState,
+        txs: list[Transaction],
+        env: BlockEnv,
+        exc: Exception,
+    ) -> BlockResult:
+        plan = self.fault_plan
+        if plan is not None:
+            plan.count("serial_block_fallbacks")
+            if isinstance(exc, BlockDeadlineExceeded):
+                plan.count("deadline_aborts")
+            elif isinstance(exc, AbortStormDetected):
+                plan.count("abort_storms_detected")
+            else:
+                plan.count("storage_aborts")
+        # The parallel attempt's burned simulated time is not free: the
+        # fallback starts where the abort happened (0.0 for faults that
+        # carry no timestamp, e.g. a storage failure during the read phase).
+        start_us = float(getattr(exc, "at_us", 0.0) or 0.0)
+        overlay, results, serial_us = run_serial_pass(
+            world,
+            txs,
+            env,
+            self.cost_model,
+            observer=self.observer,
+            start_us=start_us,
+            span_kind="serial-fallback",
+        )
+        stats = {
+            "serial_fallback": 1.0,
+            "fallback_at_us": start_us,
+        }
+        publish_stats(self.metrics, stats)
+        return BlockResult(
+            writes=dict(overlay.items()),
+            makespan_us=start_us + serial_us,
+            tx_results=results,
+            threads=self.threads,
+            stats=stats,
+        )
 
     @abstractmethod
     def execute_block(
@@ -109,6 +226,51 @@ def run_speculative(
         view, tx, env, tracer=tracer, meter=meter, cost_model=cost_model
     )
     return result, meter
+
+
+def run_serial_pass(
+    world: WorldState,
+    txs: list[Transaction],
+    env: BlockEnv,
+    cost_model: CostModel,
+    observer=None,
+    start_us: float = 0.0,
+    span_kind: str = "execute",
+) -> tuple[BlockOverlay, list[TxResult], float]:
+    """One in-order, single-worker execution of the whole block.
+
+    The common core of :class:`~repro.concurrency.serial.SerialExecutor`
+    and of every serial-fallback path (``span_kind="serial-fallback"``
+    distinguishes the latter's spans in traces).  Fees are settled;
+    returns ``(overlay, results, elapsed_us)`` with spans emitted from
+    ``start_us`` onwards on worker 0.
+    """
+    overlay = BlockOverlay()
+    results: list[TxResult] = []
+    now = start_us
+    for index, tx in enumerate(txs):
+        result, meter = run_speculative(world, overlay, tx, env, cost_model)
+        overlay.apply(result.write_set)
+        commit_us = commit_cost_us(result, cost_model)
+        if observer is not None:
+            # One execute span and one commit span per transaction, all
+            # on worker 0 — serial execution is its own schedule.
+            observer.on_span(
+                0,
+                Task(kind=span_kind, duration_us=meter.total_us, tx_index=index),
+                now,
+                now + meter.total_us,
+            )
+            observer.on_span(
+                0,
+                Task(kind="commit", duration_us=commit_us, tx_index=index),
+                now + meter.total_us,
+                now + meter.total_us + commit_us,
+            )
+        now += meter.total_us + commit_us
+        results.append(result)
+    settle_fees(overlay, world, results, env)
+    return overlay, results, now - start_us
 
 
 _OVERLAY_MISS = object()

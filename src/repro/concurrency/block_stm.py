@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 
+from ..errors import AbortStormDetected
 from ..evm.interpreter import execute_transaction
 from ..evm.message import BlockEnv, Transaction, TxResult
 from ..sim.machine import SimMachine, Task
@@ -55,6 +56,13 @@ class _BlockSTMScheduler:
         self.env = env
         self.mv = MVMemory()
         n = len(txs)
+        # Resilience: forced-abort injection and abort-storm detection.
+        plan = executor.fault_plan
+        self.fault_plan = plan
+        recovery = executor.recovery
+        self.abort_storm_threshold = (
+            recovery.abort_storm_threshold(n) if recovery is not None else None
+        )
         self.status = [READY] * n
         self.incarnation = [0] * n
         self.validated = [False] * n
@@ -85,6 +93,17 @@ class _BlockSTMScheduler:
             if self.status[index] != EXECUTED or self.validated[index]:
                 continue
             valid = self._check_reads(index)
+            if (
+                valid
+                and self.fault_plan is not None
+                and self.fault_plan.scheduler.force_abort(
+                    index, self.incarnation[index]
+                )
+            ):
+                # Chaos: a validation that should have passed is forced to
+                # fail, driving an extra abort + incarnation (capped per tx
+                # by the injector so injection alone cannot livelock).
+                valid = False
             result = self.results[index]
             duration = validation_cost_us(result, cm) if result else cm.validate_key_us
             return Task(
@@ -157,7 +176,7 @@ class _BlockSTMScheduler:
             if valid:
                 self.validated[index] = True
             else:
-                self._abort(index)
+                self._abort(index, now_us)
 
     def _on_executed(self, index: int, result: TxResult, read_versions) -> None:
         self.results[index] = result
@@ -172,8 +191,14 @@ class _BlockSTMScheduler:
             self._revalidate_after(index)
         self._wake_dependents(index)
 
-    def _abort(self, index: int) -> None:
+    def _abort(self, index: int, now_us: float = 0.0) -> None:
         self.aborts += 1
+        threshold = self.abort_storm_threshold
+        if threshold is not None and self.aborts > threshold:
+            # The run is re-aborting far beyond what the block's size can
+            # justify — a livelock signature.  Bail out to the executor's
+            # serial fallback rather than churn incarnations forever.
+            raise AbortStormDetected(self.aborts, threshold, at_us=now_us)
         self.mv.convert_to_estimates(index)
         self.incarnation[index] += 1
         self.validated[index] = False
@@ -220,8 +245,22 @@ class BlockSTMExecutor(BlockExecutor):
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
         scheduler = _BlockSTMScheduler(self, world, txs, env)
-        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
+        recovery = self.recovery
+        machine = SimMachine(
+            self.threads,
+            observer=self.observer,
+            fault_plan=self.fault_plan,
+            deadline_us=recovery.block_deadline_us if recovery else None,
+        )
+        makespan = machine.run(scheduler)
 
         results = [r for r in scheduler.results if r is not None]
         # Like every block executor, Block-STM must publish write sets to

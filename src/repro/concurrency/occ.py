@@ -117,8 +117,22 @@ class OCCExecutor(BlockExecutor):
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
         scheduler = _OCCScheduler(self, world, txs, env)
-        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
+        recovery = self.recovery
+        machine = SimMachine(
+            self.threads,
+            observer=self.observer,
+            fault_plan=self.fault_plan,
+            deadline_us=recovery.block_deadline_us if recovery else None,
+        )
+        makespan = machine.run(scheduler)
         results = [r for r in scheduler.results if r is not None]
         settle_fees(scheduler.overlay, world, results, env)
         stats = {

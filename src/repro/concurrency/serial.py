@@ -8,55 +8,39 @@ its final state is the reference all concurrent executors must reproduce
 from __future__ import annotations
 
 from ..evm.message import BlockEnv, Transaction
-from ..sim.machine import Task
-from ..state.view import BlockOverlay
 from ..state.world import WorldState
 from .base import (
     BlockExecutor,
     BlockResult,
-    commit_cost_us,
     publish_stats,
-    run_speculative,
-    settle_fees,
+    run_serial_pass,
 )
 
 
 class SerialExecutor(BlockExecutor):
-    """Executes transactions one after another on a single thread."""
+    """Executes transactions one after another on a single thread.
+
+    Even the baseline routes through :meth:`BlockExecutor.guarded_block`:
+    under chaos a serial run can still hit a hard storage failure, and the
+    guarantee that every executor completes every scenario includes this
+    one (the fallback is simply the same pass re-run fault-free).
+    """
 
     name = "serial"
 
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
-        observer = self.observer
-        overlay = BlockOverlay()
-        results = []
-        makespan = 0.0
-        for index, tx in enumerate(txs):
-            result, meter = run_speculative(
-                world, overlay, tx, env, self.cost_model
-            )
-            overlay.apply(result.write_set)
-            commit_us = commit_cost_us(result, self.cost_model)
-            if observer is not None:
-                # One execute span and one commit span per transaction, all
-                # on worker 0 — serial execution is its own schedule.
-                observer.on_span(
-                    0,
-                    Task(kind="execute", duration_us=meter.total_us, tx_index=index),
-                    makespan,
-                    makespan + meter.total_us,
-                )
-                observer.on_span(
-                    0,
-                    Task(kind="commit", duration_us=commit_us, tx_index=index),
-                    makespan + meter.total_us,
-                    makespan + meter.total_us + commit_us,
-                )
-            makespan += meter.total_us + commit_us
-            results.append(result)
-        settle_fees(overlay, world, results, env)
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
+        overlay, results, makespan = run_serial_pass(
+            world, txs, env, self.cost_model, observer=self.observer
+        )
         publish_stats(self.metrics, {"executions": len(txs)})
         return BlockResult(
             writes=dict(overlay.items()),

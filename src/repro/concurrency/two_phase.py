@@ -18,6 +18,7 @@ the hot-spot benchmarks show exactly that.
 
 from __future__ import annotations
 
+from ..errors import BlockDeadlineExceeded
 from ..evm.message import BlockEnv, Transaction, TxResult
 from ..sim.machine import Task, list_schedule
 from ..state.view import BlockOverlay
@@ -43,8 +44,18 @@ class TwoPhaseExecutor(BlockExecutor):
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
         cm = self.cost_model
         observer = self.observer
+        plan = self.fault_plan
+        recovery = self.recovery
+        deadline = recovery.block_deadline_us if recovery else None
 
         # ---- Phase 1: everyone runs against the pre-block state ----------
         speculative: list[TxResult] = []
@@ -52,8 +63,16 @@ class TwoPhaseExecutor(BlockExecutor):
         for tx in txs:
             result, meter = run_speculative(world, None, tx, env, cm)
             speculative.append(result)
-            durations.append(meter.total_us + cm.scheduler_slot_us)
+            duration = meter.total_us + cm.scheduler_slot_us
+            if plan is not None:
+                # This executor schedules with list_schedule instead of a
+                # SimMachine, so worker faults perturb durations here, at
+                # the same task-boundary granularity the machine uses.
+                duration += plan.machine.perturb_us(duration)
+            durations.append(duration)
         phase1_us, placements = list_schedule(durations, self.threads)
+        if deadline is not None and phase1_us > deadline:
+            raise BlockDeadlineExceeded(phase1_us, deadline)
         if observer is not None:
             for i, (worker, start, end) in enumerate(placements):
                 observer.on_span(
@@ -90,6 +109,8 @@ class TwoPhaseExecutor(BlockExecutor):
                     start + duration,
                 )
             phase2_us += duration
+            if deadline is not None and phase1_us + phase2_us > deadline:
+                raise BlockDeadlineExceeded(phase1_us + phase2_us, deadline)
 
         for i, tx in enumerate(txs):
             if survivor[i]:

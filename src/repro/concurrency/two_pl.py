@@ -23,6 +23,7 @@ import heapq
 import random
 from dataclasses import dataclass, field
 
+from ..errors import BlockDeadlineExceeded
 from ..evm.message import BlockEnv, Transaction
 from ..sim.machine import Task
 from ..state.keys import StateKey, balance_key
@@ -99,6 +100,13 @@ class TwoPLExecutor(BlockExecutor):
     def execute_block(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
         # Reference serial pass: produces the committed state, per-tx costs
         # and access traces that drive the lock simulation.
         overlay = BlockOverlay()
@@ -169,6 +177,8 @@ class TwoPLExecutor(BlockExecutor):
         """
         n = len(sims)
         observer = self.observer
+        recovery = self.recovery
+        deadline = recovery.block_deadline_us if recovery else None
         locks: dict[StateKey, int] = {}  # key -> holder index
         waiters: dict[StateKey, list[int]] = {}
         run_queue: list[int] = list(range(n))  # fresh (re)starts
@@ -312,6 +322,8 @@ class TwoPLExecutor(BlockExecutor):
         start_ready()
         while events:
             now, _, kind, index, generation = heapq.heappop(events)
+            if deadline is not None and now > deadline:
+                raise BlockDeadlineExceeded(now, deadline)
             sim = sims[index]
             if generation != sim.generation:
                 continue  # event from a wounded (restarted) life

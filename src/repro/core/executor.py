@@ -25,13 +25,16 @@ from ..concurrency.base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    overlay_get,
     publish_stats,
     record_conflict_keys,
     run_speculative,
     settle_fees,
     validation_cost_us,
 )
+from ..errors import RedoBudgetExceeded
 from ..evm.message import BlockEnv, Transaction, TxResult
+from ..resilience import EscalationLadder
 from ..sim.machine import SimMachine, Task
 from ..sim.meter import CostMeter
 from ..state.view import BlockOverlay
@@ -62,6 +65,13 @@ class _ParallelEVMScheduler:
         self.busy_at_commit_point = False
         self.redo_request: tuple[int, dict] | None = None
         self.results: list[TxResult | None] = [None] * len(txs)
+
+        # Resilience: the fault plan injects chaos, the ladder escalates
+        # out of it (redo budget -> full re-execution -> per-tx serial
+        # fallback).  Both None on the unfaulted fast path.
+        self.fault_plan = executor.fault_plan
+        recovery = executor.recovery
+        self.ladder = EscalationLadder(recovery) if recovery is not None else None
 
         # §6.4 statistics.
         self.executions = 0
@@ -108,6 +118,10 @@ class _ParallelEVMScheduler:
                 meter=redo_meter,
                 cost_model=cm,
                 metrics=self.metrics,
+                inject_guard_fault=(
+                    self.fault_plan is not None
+                    and self.fault_plan.redo.corrupt_guard(index)
+                ),
             )
             duration = redo_meter.total_us
             if outcome.success:
@@ -129,8 +143,43 @@ class _ParallelEVMScheduler:
             and self.next_commit in self.exec_done
         ):
             index = self.next_commit
+            ladder = self.ladder
+            if ladder is not None and ladder.wants_serial(index):
+                # Top of the escalation ladder: the transaction burned its
+                # full re-execution budget, so it runs synchronously at the
+                # exclusive commit point, where no concurrent commit can
+                # invalidate it — commit needs no validation.
+                result, meter = run_speculative(
+                    self.world, self.overlay, self.txs[index], self.env, cm
+                )
+                self.executions += 1
+                self.exec_done[index] = (result, None)
+                ladder.note_serial_fallback(index)
+                self.busy_at_commit_point = True
+                return Task(
+                    kind="serial-fallback",
+                    duration_us=meter.total_us
+                    + commit_cost_us(result, cm)
+                    + cm.scheduler_slot_us,
+                    payload=(index,),
+                    tx_index=index,
+                )
             result, _tracer = self.exec_done[index]
             conflicts = find_conflicts(result.read_set, self.world, self.overlay)
+            plan = self.fault_plan
+            if (
+                plan is not None
+                and result.read_set
+                and plan.redo.force_reconflict(index)
+            ):
+                # Injected re-conflicts are benign: the "corrected" value is
+                # the current committed value, so the redo machinery runs
+                # end to end without perturbing state (real conflicts found
+                # above keep their genuinely corrected values).
+                for key in list(result.read_set)[: plan.config.reconflict_keys]:
+                    conflicts.setdefault(
+                        key, overlay_get(self.overlay, self.world, key)
+                    )
             duration = validation_cost_us(result, cm)
             if not conflicts:
                 duration += commit_cost_us(result, cm)
@@ -152,12 +201,29 @@ class _ParallelEVMScheduler:
             self.exec_done[index] = (result, tracer)
             return
 
+        if task.kind == "serial-fallback":
+            self.busy_at_commit_point = False
+            (index,) = task.payload
+            self._commit(index)
+            return
+
         if task.kind == "validate":
             self.busy_at_commit_point = False
             index, conflicts = task.payload
             if conflicts:
                 self.conflicting_txs += 1
                 record_conflict_keys(self.metrics, conflicts)
+                if self.ladder is not None:
+                    try:
+                        self.ladder.charge_redo(index)
+                    except RedoBudgetExceeded:
+                        # Redo budget exhausted: skip the redo and escalate
+                        # straight to a full re-execution (write phase).
+                        self.full_aborts += 1
+                        self.ladder.record_reexecution(index)
+                        del self.exec_done[index]
+                        self.pending.appendleft(index)
+                        return
                 self.redo_request = (index, conflicts)
                 return
             self._commit(index)
@@ -186,6 +252,8 @@ class _ParallelEVMScheduler:
         # Constraint guard violated: abort, full re-execution (write phase).
         self.redo_failures += 1
         self.full_aborts += 1
+        if self.ladder is not None:
+            self.ladder.record_reexecution(index)
         del self.exec_done[index]
         self.pending.appendleft(index)
 
@@ -211,10 +279,18 @@ class ParallelEVMExecutor(BlockExecutor):
         preexecute: bool = False,
         observer=None,
         redo_checker=None,
+        fault_plan=None,
+        recovery=None,
     ):
         from ..sim.cost import DEFAULT_COST_MODEL
 
-        super().__init__(threads, cost_model or DEFAULT_COST_MODEL, observer=observer)
+        super().__init__(
+            threads,
+            cost_model or DEFAULT_COST_MODEL,
+            observer=observer,
+            fault_plan=fault_plan,
+            recovery=recovery,
+        )
         self.preexecute = preexecute
         # Optional slice-equivalence oracle (repro.check.replay): called
         # with (world, overlay, tx, env, result) after every successful
@@ -225,6 +301,13 @@ class ParallelEVMExecutor(BlockExecutor):
         self.redo_checker = redo_checker
 
     def execute_block(
+        self, world: WorldState, txs: list[Transaction], env: BlockEnv
+    ) -> BlockResult:
+        return self.guarded_block(
+            world, txs, env, lambda: self._run(world, txs, env)
+        )
+
+    def _run(
         self, world: WorldState, txs: list[Transaction], env: BlockEnv
     ) -> BlockResult:
         scheduler = _ParallelEVMScheduler(self, world, txs, env)
@@ -240,7 +323,14 @@ class ParallelEVMExecutor(BlockExecutor):
                 scheduler.exec_done[index] = (result, tracer)
             scheduler.pending.clear()
 
-        makespan = SimMachine(self.threads, observer=self.observer).run(scheduler)
+        recovery = self.recovery
+        machine = SimMachine(
+            self.threads,
+            observer=self.observer,
+            fault_plan=self.fault_plan,
+            deadline_us=recovery.block_deadline_us if recovery else None,
+        )
+        makespan = machine.run(scheduler)
         results = [r for r in scheduler.results if r is not None]
         settle_fees(scheduler.overlay, world, results, env)
 
@@ -257,6 +347,16 @@ class ParallelEVMExecutor(BlockExecutor):
             "log_entries_total": scheduler.log_entries_total,
             "instructions_total": scheduler.instructions_total,
         }
+        if scheduler.ladder is not None:
+            ladder_stats = scheduler.ladder.as_stats()
+            stats.update(ladder_stats)
+            if self.fault_plan is not None:
+                # Mirror escalation decisions onto the plan so they surface
+                # in the resilience_* degradation summary alongside the
+                # injected faults that caused them.
+                for name, value in ladder_stats.items():
+                    if value:
+                        self.fault_plan.count(name, value)
         publish_stats(self.metrics, stats)
         return BlockResult(
             writes=dict(scheduler.overlay.items()),

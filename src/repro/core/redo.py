@@ -61,6 +61,7 @@ def redo(
     meter=None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     metrics=None,
+    inject_guard_fault: bool = False,
 ) -> RedoOutcome:
     """Attempt to resolve ``conflicts`` by operation-level re-execution.
 
@@ -74,8 +75,20 @@ def redo(
 
     ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) receives
     attempt/guard counters and the redo-slice size histogram.
+
+    ``inject_guard_fault`` is the chaos hook (see
+    :class:`repro.resilience.RedoFaultInjector`): the attempt fails as if
+    a constraint guard had been violated, *before* touching the log
+    entries, and flows through the identical failure machinery — poisoned
+    log, failure counters, full re-execution fallback — so the recovery
+    path is exercised end to end without fabricating incoherent state.
     """
-    outcome = _redo(log, conflicts, meter, cost_model)
+    if inject_guard_fault:
+        outcome = RedoOutcome(
+            False, reason="injected fault: corrupted constraint guard"
+        )
+    else:
+        outcome = _redo(log, conflicts, meter, cost_model)
     if not outcome.success:
         log.poisoned = True
     if metrics is not None:

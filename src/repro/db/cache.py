@@ -47,6 +47,19 @@ class LRUCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def drop(self, key: Hashable) -> bool:
+        """Evict one entry if present; returns whether it was cached.
+
+        Used by the storage fault injector to model cache thrash (an entry
+        invalidated under the executor's feet, forcing a cold re-read) —
+        and generally by anything that must invalidate a single key
+        without flushing the whole cache.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
     def clear(self) -> None:
         self._entries.clear()
 

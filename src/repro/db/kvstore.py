@@ -79,19 +79,38 @@ class SimulatedDiskKV:
         self.cache = LRUCache(cache_capacity)
         self.disk_reads = 0
         self.cache_reads = 0
+        # Optional resilience hook (a StorageFaultInjector).  None on every
+        # path that matters for calibration: with no injector installed the
+        # read path below is byte-identical to the unfaulted build.
+        self.faults = None
 
     def read(self, key: Hashable, default=None) -> ReadSample:
-        """Read ``key``, reporting the simulated latency of this access."""
+        """Read ``key``, reporting the simulated latency of this access.
+
+        With a fault injector installed, the key may first be evicted from
+        the block cache (cache thrash), and the resulting sample's latency
+        may be perturbed — spiked, or inflated by a simulated-time
+        retry/backoff loop absorbing transient read failures.  The value
+        itself is never corrupted; faults only cost time (or, past the
+        retry budget, raise :class:`repro.errors.TransientStorageError`).
+        """
+        faults = self.faults
+        if faults is not None and faults.drop_cache(key):
+            self.cache.drop(key)
         if key in self.cache:
             self.cache_reads += 1
             value = self.cache.get(key, default)
             if value is _ABSENT:  # prefetched a key with no stored value
                 value = default
-            return ReadSample(value, self.cache_latency_us, True)
-        self.disk_reads += 1
-        value = self._data.get(key, default)
-        self.cache.put(key, value)
-        return ReadSample(value, self.disk_latency_us, False)
+            sample = ReadSample(value, self.cache_latency_us, True)
+        else:
+            self.disk_reads += 1
+            value = self._data.get(key, default)
+            self.cache.put(key, value)
+            sample = ReadSample(value, self.disk_latency_us, False)
+        if faults is not None:
+            sample = faults.on_read(key, sample)
+        return sample
 
     def write(self, key: Hashable, value) -> None:
         """Write ``key``; writes are buffered in memory (free on this model).

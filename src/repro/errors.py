@@ -83,3 +83,83 @@ class RedoAbort(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event machine was driven with inconsistent events."""
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-injection and graceful-degradation failures.
+
+    Every subtype names one step of the documented escalation ladder:
+    transient storage retry -> redo budget -> block deadline / abort storm
+    -> serial fallback.  Executors catch these by the *narrowest* type that
+    fits — never ``Exception`` — so programming errors keep propagating.
+    """
+
+
+class TransientStorageError(ResilienceError):
+    """A simulated storage read kept failing past the retry budget.
+
+    Raised by the storage fault injector once a read's consecutive-failure
+    streak reaches :attr:`RecoveryPolicy.max_read_attempts`; below that
+    threshold the retry-with-backoff loop absorbs the fault as extra
+    simulated latency and no exception escapes.
+    """
+
+    def __init__(self, key, attempts: int) -> None:
+        super().__init__(
+            f"storage read of {key!r} failed {attempts} consecutive times "
+            f"(retry budget exhausted)"
+        )
+        self.key = key
+        self.attempts = attempts
+
+
+class RedoBudgetExceeded(ResilienceError):
+    """A transaction used up its per-transaction redo-attempt budget.
+
+    The escalation ladder's first rung: the scheduler stops attempting
+    operation-level redo for this transaction and falls back to a full
+    re-execution instead.
+    """
+
+    def __init__(self, tx_index: int, attempts: int) -> None:
+        super().__init__(
+            f"tx {tx_index}: redo budget exhausted after {attempts} attempts; "
+            f"escalating to full re-execution"
+        )
+        self.tx_index = tx_index
+        self.attempts = attempts
+
+
+class BlockDeadlineExceeded(ResilienceError):
+    """A parallel block run overran its simulated-time deadline.
+
+    Raised by the deadline watchdog (the simulated machine, or the
+    executors that keep their own clocks).  ``at_us`` is the simulated
+    instant the watchdog fired; the serial fallback resumes from there.
+    """
+
+    def __init__(self, at_us: float, deadline_us: float) -> None:
+        super().__init__(
+            f"block execution passed its deadline: {at_us:.1f} us > "
+            f"{deadline_us:.1f} us; falling back to serial execution"
+        )
+        self.at_us = at_us
+        self.deadline_us = deadline_us
+
+
+class AbortStormDetected(ResilienceError):
+    """Block-STM's abort rate crossed the livelock-detection threshold.
+
+    The collaborative scheduler is re-executing transactions faster than it
+    can commit them; rather than spin, the block degrades to the serial
+    fallback (the explicit guarantee Block-STM itself ships with).
+    """
+
+    def __init__(self, aborts: int, threshold: int, at_us: float = 0.0) -> None:
+        super().__init__(
+            f"abort storm: {aborts} aborts exceeded the threshold of "
+            f"{threshold}; falling back to serial execution"
+        )
+        self.aborts = aborts
+        self.threshold = threshold
+        self.at_us = at_us

@@ -25,6 +25,7 @@ from .report import (
     certification_table,
     commit_point_stall_us,
     conflict_heatmap_table,
+    degradation_table,
     phase_breakdown_table,
     redo_slice_table,
     render_block_report,
@@ -44,6 +45,7 @@ __all__ = [
     "certification_table",
     "commit_point_stall_us",
     "conflict_heatmap_table",
+    "degradation_table",
     "phase_breakdown_table",
     "redo_slice_table",
     "render_block_report",

@@ -137,6 +137,64 @@ def redo_slice_table(metrics: MetricsRegistry) -> str | None:
     )
 
 
+# Display order + human labels for the degradation summary.  Anything the
+# resilience layer counts that is not listed here still renders, after the
+# known rows, under its raw counter name.
+_DEGRADATION_LABELS = (
+    ("resilience_faults_injected", "faults injected"),
+    ("resilience_storage_latency_spikes", "storage latency spikes"),
+    ("resilience_storage_transient_faults", "transient storage faults"),
+    ("resilience_storage_retries", "storage read retries"),
+    ("resilience_backoff_wait_us", "retry backoff wait (us)"),
+    ("resilience_storage_hard_failures", "storage hard failures"),
+    ("resilience_cache_drops", "cache entries dropped"),
+    ("resilience_worker_stalls", "worker stalls"),
+    ("resilience_worker_crashes", "worker crashes"),
+    ("resilience_worker_slowdowns", "worker slowdowns"),
+    ("resilience_forced_reconflicts", "forced re-conflicts"),
+    ("resilience_corrupted_guards", "corrupted redo guards"),
+    ("resilience_forced_aborts", "forced aborts (Block-STM)"),
+    ("resilience_redo_budget_escalations", "redo-budget escalations"),
+    ("resilience_serial_tx_fallbacks", "per-tx serial fallbacks"),
+    ("resilience_abort_storms_detected", "abort storms detected"),
+    ("resilience_deadline_aborts", "deadline aborts"),
+    ("resilience_storage_aborts", "storage aborts"),
+    ("resilience_serial_block_fallbacks", "whole-block serial fallbacks"),
+)
+
+
+def degradation_table(metrics: MetricsRegistry) -> str | None:
+    """Summary of fault injection and recovery (``resilience_*`` series).
+
+    One row per non-zero counter, summed across executor labels (the chaos
+    harness runs one fault plan per executor into a shared registry).
+    Returns None when no resilience counters exist — i.e. the run had no
+    fault plan attached — so reports stay untouched outside chaos mode.
+    """
+    names = sorted(
+        {name for name, _key, _metric in metrics.series()
+         if name.startswith("resilience_")}
+    )
+    if not names:
+        return None
+    known = [name for name, _label in _DEGRADATION_LABELS]
+    labels = dict(_DEGRADATION_LABELS)
+    ordered = [name for name in known if name in names]
+    ordered += [name for name in names if name not in labels]
+    rows = []
+    for name in ordered:
+        total = metrics.sum_by_name(name)
+        if total:
+            rows.append([labels.get(name, name), f"{total:g}"])
+    if not rows:
+        rows.append(["faults injected", "0"])
+    return render_table(
+        "Degradation summary (faults injected & recovery actions)",
+        ["event", "count"],
+        rows,
+    )
+
+
 def certification_table(metrics: MetricsRegistry) -> str | None:
     """Summary of a ``repro.check`` certification run (``certify_*`` series).
 
@@ -192,4 +250,7 @@ def render_block_report(
     slices = redo_slice_table(observer.metrics)
     if slices is not None:
         parts.append(slices)
+    degradation = degradation_table(observer.metrics)
+    if degradation is not None:
+        parts.append(degradation)
     return "\n\n".join(parts)

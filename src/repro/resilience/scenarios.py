@@ -1,0 +1,120 @@
+"""The chaos scenario catalogue.
+
+Each scenario is a named :class:`FaultConfig` (plus optional recovery-policy
+overrides) targeting one hazard class the paper's happy-path evaluation
+never exercises.  The default suite is deliberately adversarial *and*
+convergent: every scenario either recovers in place (retries, redo budget)
+or degrades through a typed escalation to the serial fallback — a hung or
+diverged executor under any of them is a bug, not an expected outcome.
+
+Chaos runs are correctness-only.  Makespans under injection measure the
+cost of the faults and the recovery machinery, not the paper's algorithms;
+no performance claim is ever derived from a chaos run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .faults import FaultConfig
+
+
+@dataclass(slots=True, frozen=True)
+class ChaosScenario:
+    """A named fault configuration with optional policy overrides.
+
+    ``recovery_overrides`` are applied to the harness's
+    :class:`RecoveryPolicy` via :func:`dataclasses.replace` — e.g. the
+    abort-storm scenario lowers the storm threshold so detection (and the
+    serial-fallback guarantee behind it) actually fires on small blocks.
+    """
+
+    name: str
+    description: str
+    config: FaultConfig
+    recovery_overrides: dict = field(default_factory=dict)
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            "storage-spike",
+            "read-latency spikes: slow LevelDB point reads (compaction, "
+            "SSD GC pauses)",
+            FaultConfig(storage_spike_rate=0.2, storage_spike_factor=12.0),
+        ),
+        ChaosScenario(
+            "storage-flaky",
+            "transient read failures absorbed by retry with exponential "
+            "backoff in simulated time",
+            FaultConfig(storage_fail_rate=0.08, storage_fail_streak=3),
+        ),
+        ChaosScenario(
+            "cache-thrash",
+            "block-cache entries evicted under the executor's feet, "
+            "forcing cold re-reads",
+            FaultConfig(cache_drop_rate=0.3),
+        ),
+        ChaosScenario(
+            "worker-stall",
+            "workers stalling at task boundaries (GC pauses, noisy "
+            "neighbours)",
+            FaultConfig(worker_stall_rate=0.15, worker_stall_us=500.0),
+        ),
+        ChaosScenario(
+            "worker-crash",
+            "workers dying mid-task; the lost work re-executes after a "
+            "restart penalty",
+            FaultConfig(worker_crash_rate=0.08, worker_restart_us=300.0),
+        ),
+        ChaosScenario(
+            "worker-slow",
+            "tasks landing on degraded cores running at a fraction of "
+            "full speed",
+            FaultConfig(worker_slow_rate=0.2, worker_slow_factor=5.0),
+        ),
+        ChaosScenario(
+            "redo-storm",
+            "validations forced to report benign re-conflicts, driving "
+            "the redo machinery (and its budget) hard",
+            FaultConfig(reconflict_rate=0.6),
+        ),
+        ChaosScenario(
+            "corrupt-guard",
+            "redo attempts failing on corrupted constraint guards, "
+            "escalating redo -> full re-execution -> serial fallback",
+            FaultConfig(reconflict_rate=0.5, corrupt_guard_rate=0.7),
+        ),
+        ChaosScenario(
+            "abort-storm",
+            "Block-STM validations forced to fail until abort-storm "
+            "detection triggers the serial fallback",
+            FaultConfig(forced_abort_rate=0.9, forced_abort_cap=5),
+            recovery_overrides={
+                "abort_storm_factor": 2.0,
+                "abort_storm_floor": 8,
+            },
+        ),
+        ChaosScenario(
+            "havoc",
+            "everything at once, at moderate rates",
+            FaultConfig(
+                storage_spike_rate=0.08,
+                storage_fail_rate=0.03,
+                cache_drop_rate=0.1,
+                worker_stall_rate=0.06,
+                worker_crash_rate=0.03,
+                worker_slow_rate=0.06,
+                reconflict_rate=0.2,
+                corrupt_guard_rate=0.2,
+                forced_abort_rate=0.3,
+            ),
+        ),
+    )
+}
+
+
+def default_suite() -> list[ChaosScenario]:
+    """The default chaos suite, in catalogue order."""
+    return list(SCENARIOS.values())

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+from ..errors import SimulationError
+
 
 class SimClock:
-    """Monotonic simulated time.  Purely logical — never sleeps."""
+    """Monotonic simulated time.  Purely logical — never sleeps.
+
+    Invalid advances raise :class:`SimulationError` with the offending
+    values spelled out: a backwards or NaN advance is always a driver bug,
+    and silently clamping it would hide non-determinism.
+    """
 
     def __init__(self, start_us: float = 0.0) -> None:
+        if start_us != start_us:  # NaN
+            raise SimulationError("simulated clock cannot start at NaN")
         self._now_us = start_us
 
     @property
@@ -15,13 +24,21 @@ class SimClock:
 
     def advance_to(self, t_us: float) -> None:
         """Move time forward to ``t_us``; moving backwards is a bug."""
+        if t_us != t_us:  # NaN compares unequal to itself
+            raise SimulationError(
+                f"simulated clock advance_to(NaN) at t={self._now_us} us"
+            )
         if t_us < self._now_us - 1e-9:
-            raise ValueError(
-                f"simulated clock moved backwards: {self._now_us} -> {t_us}"
+            raise SimulationError(
+                f"simulated clock moved backwards (non-monotonic advance): "
+                f"{self._now_us} us -> {t_us} us"
             )
         self._now_us = max(self._now_us, t_us)
 
     def advance_by(self, delta_us: float) -> None:
-        if delta_us < 0:
-            raise ValueError("cannot advance the clock by a negative duration")
+        if not (delta_us >= 0):  # rejects negatives and NaN in one test
+            raise SimulationError(
+                f"cannot advance the clock by {delta_us!r} us: "
+                f"delta must be a non-negative number"
+            )
         self._now_us += delta_us

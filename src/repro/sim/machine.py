@@ -19,7 +19,7 @@ from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
-from ..errors import SimulationError
+from ..errors import BlockDeadlineExceeded, SimulationError
 
 
 def list_schedule(
@@ -36,12 +36,17 @@ def list_schedule(
     observers can reconstruct the schedule as spans.
     """
     if threads <= 0:
-        raise SimulationError("thread count must be positive")
+        raise SimulationError(
+            f"worker count must be a positive integer, got {threads!r}"
+        )
     free_at = [0.0] * threads
     placements: list[tuple[int, float, float]] = []
     for duration in durations:
-        if duration < 0:
-            raise SimulationError("negative task duration")
+        if not (duration >= 0):  # rejects negatives and NaN in one test
+            raise SimulationError(
+                f"task duration must be a non-negative number, "
+                f"got {duration!r}"
+            )
         earliest = min(range(threads), key=free_at.__getitem__)
         start = free_at[earliest]
         free_at[earliest] = start + duration + per_task_overhead_us
@@ -110,18 +115,47 @@ class SimMachine:
     hook is pure metadata: with or without an observer the machine makes
     byte-identical scheduling decisions, and with ``observer=None`` (the
     default) the only added work is one ``is not None`` test per event.
+
+    Two resilience hooks, both off by default and ``None``-guarded so an
+    unfaulted run's makespans stay bit-identical:
+
+    - ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) perturbs task
+      durations at dispatch — worker stalls, crashes (the work re-executes
+      after a restart penalty) and slowdowns, drawn deterministically from
+      the plan's seed;
+    - ``deadline_us`` arms the block deadline watchdog: the machine raises
+      :class:`repro.errors.BlockDeadlineExceeded` the moment simulated
+      time passes the deadline, so a livelocked scheduler (e.g. a redo
+      that keeps re-conflicting) degrades to the caller's serial fallback
+      instead of spinning forever.
     """
 
-    def __init__(self, threads: int, observer=None) -> None:
+    def __init__(
+        self,
+        threads: int,
+        observer=None,
+        fault_plan=None,
+        deadline_us: float | None = None,
+    ) -> None:
         if threads <= 0:
-            raise SimulationError("thread count must be positive")
+            raise SimulationError(
+                f"worker count must be a positive integer, got {threads!r}"
+            )
+        if deadline_us is not None and not (deadline_us > 0):
+            raise SimulationError(
+                f"block deadline must be a positive time, got {deadline_us!r}"
+            )
         self.threads = threads
         self.observer = observer
+        self.fault_plan = fault_plan
+        self.deadline_us = deadline_us
 
     def run(self, scheduler: Scheduler, start_us: float = 0.0) -> float:
         """Drive ``scheduler`` to completion; returns the finish time."""
         now = start_us
         observer = self.observer
+        faults = self.fault_plan
+        deadline = self.deadline_us
         # (finish_t, seq, worker, start_t, task)
         events: list[tuple[float, int, int, float, Task]] = []
         seq = itertools.count()
@@ -138,9 +172,17 @@ class SimMachine:
                 if task is None:
                     still_idle.append(worker)
                 else:
+                    duration = task.duration_us
+                    if not (duration >= 0):  # rejects negatives and NaN
+                        raise SimulationError(
+                            f"task {task.kind!r} has invalid duration "
+                            f"{duration!r} us (must be a non-negative number)"
+                        )
+                    if faults is not None:
+                        duration += faults.machine.perturb_us(duration)
                     heapq.heappush(
                         events,
-                        (now + task.duration_us, next(seq), worker, now, task),
+                        (now + duration, next(seq), worker, now, task),
                     )
                     busy_count += 1
             idle = still_idle
@@ -156,6 +198,8 @@ class SimMachine:
             finish_t, _, worker, start_t, task = heapq.heappop(events)
             now = finish_t
             busy_count -= 1
+            if deadline is not None and now > deadline:
+                raise BlockDeadlineExceeded(now, deadline)
             if observer is not None:
                 observer.on_span(worker, task, start_t, finish_t)
             scheduler.on_complete(task, now)

@@ -28,10 +28,21 @@ class TestClock:
 
     def test_backwards_rejected(self):
         clock = SimClock(10.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError, match="moved backwards"):
             clock.advance_to(5.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError, match="non-negative"):
             clock.advance_by(-1.0)
+
+    def test_nan_rejected(self):
+        nan = float("nan")
+        with pytest.raises(SimulationError, match="NaN"):
+            SimClock(nan)
+        clock = SimClock()
+        with pytest.raises(SimulationError, match="NaN"):
+            clock.advance_to(nan)
+        with pytest.raises(SimulationError, match="non-negative"):
+            clock.advance_by(nan)
+        assert clock.now_us == 0.0  # failed advances leave time untouched
 
 
 class TestMeter:
