@@ -45,6 +45,22 @@ class BlockConflictAnalysis:
     def conflict_share(self) -> float:
         return self.conflicting_txs / self.tx_count if self.tx_count else 0.0
 
+    def as_dict(self, hot_keys: int = 5) -> dict:
+        """JSON-ready summary (no per-tx arrays — those dwarf the payload)."""
+        return {
+            "tx_count": self.tx_count,
+            "conflicting_txs": self.conflicting_txs,
+            "conflict_share": self.conflict_share,
+            "critical_path_txs": self.critical_path_txs,
+            "critical_path_us": self.critical_path_us,
+            "total_us": self.total_us,
+            "tx_level_speedup_bound": self.tx_level_speedup_bound,
+            "hot_keys": [
+                {"key": str(key), "txs": count}
+                for key, count in self.hot_keys[:hot_keys]
+            ],
+        }
+
     def describe(self) -> str:
         hot = ", ".join(f"{count} txs" for _, count in self.hot_keys[:3])
         return (
@@ -99,10 +115,12 @@ def analyze_block(
     for j, deps in enumerate(dependencies):
         in_conflict.update(deps)
 
+    # Secondary sort on repr: ties otherwise surface in hash-dependent
+    # (PYTHONHASHSEED) order, breaking byte-identical BENCH documents.
     hot_keys = sorted(
         ((key, len(indices)) for key, indices in touching.items()
          if len(indices) > 1),
-        key=lambda pair: -pair[1],
+        key=lambda pair: (-pair[1], repr(pair[0])),
     )
 
     return BlockConflictAnalysis(

@@ -27,6 +27,17 @@ from .experiments import (
     run_overhead,
 )
 from .report import render_table, render_series, render_histogram
+from .suite import (
+    BENCH_SCHEMA_VERSION,
+    BenchSuiteConfig,
+    EXECUTOR_FACTORIES,
+    SUITES,
+    compare_bench,
+    load_bench,
+    run_suite,
+    to_json,
+    write_bench,
+)
 
 __all__ = [
     "SpeedupSummary",
@@ -47,4 +58,13 @@ __all__ = [
     "render_table",
     "render_series",
     "render_histogram",
+    "BENCH_SCHEMA_VERSION",
+    "BenchSuiteConfig",
+    "EXECUTOR_FACTORIES",
+    "SUITES",
+    "compare_bench",
+    "load_bench",
+    "run_suite",
+    "to_json",
+    "write_bench",
 ]

@@ -5,6 +5,7 @@ Commands
 compare      run one synthesized block through every executor, print speedups
 run          run one block under one executor with tracing/metrics attached
 experiment   run a named paper experiment (table1, fig11, ...), print it
+bench        run a regression benchmark suite, emit/gate BENCH_<name>.json
 replay       replay a span of blocks with MPT state-root validation
 inspect      print the SSA operation log of one transaction and walk a redo
 fuzz         certify fuzzed adversarial blocks, shrinking/dumping failures
@@ -19,17 +20,20 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis.conflict_graph import analyze_block
 from .bench import experiments as exp
 from .bench.harness import executor_suite, standard_chain, standard_workload
-from .concurrency import (
-    BlockSTMExecutor,
-    OCCExecutor,
-    SerialExecutor,
-    TwoPhaseExecutor,
-    TwoPLExecutor,
+from .bench.suite import (
+    EXECUTOR_FACTORIES,
+    SUITES,
+    compare_bench,
+    load_bench,
+    run_suite,
+    to_json,
 )
+from .concurrency import SerialExecutor
 from .core.executor import ParallelEVMExecutor
-from .obs import BlockObserver, render_block_report
+from .obs import BlockObserver, render_block_report, structural_bound_lines
 
 EXPERIMENTS = {
     "table1": exp.run_table1,
@@ -45,55 +49,62 @@ EXPERIMENTS = {
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
     chain = standard_chain(accounts=args.accounts)
     workload = standard_workload(chain, args.txs)
     block = workload.block(args.block)
     serial = SerialExecutor().execute_block(
         chain.fresh_world(), block.txs, block.env
     )
+    analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
+    executors: dict[str, dict] = {}
+    for executor in executor_suite(args.threads):
+        result = executor.execute_block(chain.fresh_world(), block.txs, block.env)
+        if result.writes != serial.writes:
+            print(f"{executor.name:<14}  STATE DIVERGED", file=sys.stderr)
+            return 1
+        executors[executor.name] = {
+            "makespan_us": result.makespan_us,
+            "speedup": serial.makespan_us / result.makespan_us,
+        }
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "block": block.number,
+                    "txs": len(block),
+                    "threads": args.threads,
+                    "serial_us": serial.makespan_us,
+                    "analysis": analysis.as_dict(),
+                    "executors": executors,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+
     print(
         f"block {block.number}: {len(block)} txs, serial "
         f"{serial.makespan_us / 1000:.2f} ms simulated\n"
     )
     print(f"{'algorithm':<14} {'speedup':>8}")
     print("-" * 24)
-    for executor in executor_suite(args.threads):
-        result = executor.execute_block(chain.fresh_world(), block.txs, block.env)
-        if result.writes != serial.writes:
-            print(f"{executor.name:<14}  STATE DIVERGED", file=sys.stderr)
-            return 1
-        print(
-            f"{executor.name:<14} "
-            f"{serial.makespan_us / result.makespan_us:>7.2f}x"
-        )
+    best_us = serial.makespan_us
+    for name, entry in executors.items():
+        print(f"{name:<14} {entry['speedup']:>7.2f}x")
+        best_us = min(best_us, entry["makespan_us"])
+    print()
+    print(structural_bound_lines(analysis, best_us, serial.makespan_us))
     return 0
 
 
 # Executors addressable by ``repro run --executor`` (superset of the
 # Table 1 suite: adds serial, Saraph-Herlihy two-phase and §6.3 preexec).
-RUN_EXECUTORS = {
-    "serial": lambda threads, observer: SerialExecutor(
-        threads=threads, observer=observer
-    ),
-    "2pl": lambda threads, observer: TwoPLExecutor(
-        threads=threads, observer=observer
-    ),
-    "occ": lambda threads, observer: OCCExecutor(
-        threads=threads, observer=observer
-    ),
-    "block-stm": lambda threads, observer: BlockSTMExecutor(
-        threads=threads, observer=observer
-    ),
-    "two-phase": lambda threads, observer: TwoPhaseExecutor(
-        threads=threads, observer=observer
-    ),
-    "parallelevm": lambda threads, observer: ParallelEVMExecutor(
-        threads=threads, observer=observer
-    ),
-    "parallelevm-preexec": lambda threads, observer: ParallelEVMExecutor(
-        threads=threads, preexecute=True, observer=observer
-    ),
-}
+# Shared with the benchmark suite so `bench` and `run` agree on names.
+RUN_EXECUTORS = EXECUTOR_FACTORIES
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -112,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.writes != serial.writes:
         print(f"{executor.name}: STATE DIVERGED from serial", file=sys.stderr)
         return 1
+    analysis = analyze_block(chain.fresh_world(), block.txs, block.env)
 
     metrics = observer.metrics
     metrics.gauge("makespan_us").set(result.makespan_us)
@@ -128,6 +140,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{args.executor} · block {block.number} · {len(block)} txs · "
                 f"speedup {serial.makespan_us / result.makespan_us:.2f}x"
             ),
+            analysis=analysis,
+            serial_us=serial.makespan_us,
         )
     )
 
@@ -137,6 +151,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.metrics_json:
         metrics.write_json(args.metrics_json)
         print(f"metrics: {len(metrics.as_dict())} series -> {args.metrics_json}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    document = run_suite(args.suite)
+    for sweep_name, sweep in sorted(document["sweeps"].items()):
+        print(f"{sweep_name} sweep ({sweep['parameter']}):")
+        for point in sweep["points"]:
+            speedups = ", ".join(
+                f"{name} {entry['speedup']:.2f}x"
+                for name, entry in point["executors"].items()
+                if name != "serial"
+            )
+            print(f"  {sweep['parameter']}={point['point']}: {speedups}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(to_json(document))
+        print(f"\nwrote {args.out}")
+    if args.compare:
+        baseline = load_bench(args.compare)
+        problems = compare_bench(document, baseline, gate_pct=args.gate)
+        if problems:
+            print(
+                f"\nREGRESSION vs {args.compare} "
+                f"({len(problems)} finding(s)):",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"\ngate ok vs {args.compare} (±{args.gate:g}%)")
     return 0
 
 
@@ -411,7 +456,36 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=16)
     compare.add_argument("--accounts", type=int, default=500)
     compare.add_argument("--block", type=int, default=14_000_000)
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    bench = sub.add_parser(
+        "bench", help="run a regression benchmark suite (BENCH_<name>.json)"
+    )
+    bench.add_argument(
+        "--suite", choices=sorted(SUITES), default="small",
+        help="suite size (default: small, the CI smoke suite)",
+    )
+    bench.add_argument(
+        "--out", metavar="FILE", help="write the benchmark document here"
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="gate this run against a baseline BENCH_*.json; non-zero exit "
+        "on regression",
+    )
+    bench.add_argument(
+        "--gate",
+        type=float,
+        default=25.0,
+        help="allowed makespan slowdown in percent (default 25)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     run = sub.add_parser(
         "run", help="run one block under one executor, with trace/metrics export"

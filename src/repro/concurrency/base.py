@@ -35,7 +35,7 @@ from ..evm.message import BlockEnv, Transaction, TxResult
 from ..sim.cost import DEFAULT_COST_MODEL, CostModel
 from ..sim.machine import Task
 from ..sim.meter import CostMeter
-from ..state.keys import StateKey, balance_key
+from ..state.keys import StateKey, balance_key, key_address
 from ..state.view import BlockOverlay, StateView
 from ..state.world import WorldState
 
@@ -351,8 +351,28 @@ def publish_stats(metrics, stats: dict, prefix: str = "stats_") -> None:
 
 
 def record_conflict_keys(metrics, conflicts) -> None:
-    """Count per-key validation conflicts (the report's conflict heatmap)."""
+    """Count per-key validation conflicts (the report's conflict heatmap).
+
+    The ``contract`` label carries the owning account so the attribution
+    report (:mod:`repro.obs.attribution`) can roll keys up per contract.
+    """
     if metrics is None or not conflicts:
         return
     for key in conflicts:
-        metrics.counter("conflict_keys", key=str(key)).inc()
+        metrics.counter(
+            "conflict_keys", key=str(key), contract=key_address(key).hex()
+        ).inc()
+
+
+def observer_edge_hook(observer):
+    """The observer's ``on_edge`` callback, or None.
+
+    Schedulers resolve this once per block and guard every dependency-edge
+    report with it, so unobserved runs skip the bookkeeping entirely.
+    """
+    return getattr(observer, "on_edge", None) if observer is not None else None
+
+
+def observer_counter_hook(observer):
+    """The observer's ``on_counter`` callback, or None (same contract)."""
+    return getattr(observer, "on_counter", None) if observer is not None else None

@@ -26,12 +26,15 @@ from ..evm.interpreter import execute_transaction
 from ..evm.message import BlockEnv, Transaction, TxResult
 from ..sim.machine import SimMachine, Task
 from ..sim.meter import CostMeter
+from ..state.keys import key_address
 from ..state.view import BlockOverlay, StateView
 from ..state.world import WorldState
 from .base import (
     BlockExecutor,
     BlockResult,
     commit_cost_us,
+    observer_counter_hook,
+    observer_edge_hook,
     publish_stats,
     settle_fees,
     validation_cost_us,
@@ -81,6 +84,9 @@ class _BlockSTMScheduler:
         self.executions = 0
         self.aborts = 0
         self.estimate_suspensions = 0
+        self._metrics = executor.metrics
+        self._on_edge = observer_edge_hook(executor.observer)
+        self._on_counter = observer_counter_hook(executor.observer)
 
     # -------------------------------------------------------------- tasks
 
@@ -92,7 +98,8 @@ class _BlockSTMScheduler:
             self.in_validation.discard(index)
             if self.status[index] != EXECUTED or self.validated[index]:
                 continue
-            valid = self._check_reads(index)
+            bad_keys = self._check_reads(index)
+            valid = not bad_keys
             if (
                 valid
                 and self.fault_plan is not None
@@ -114,6 +121,7 @@ class _BlockSTMScheduler:
                     self.incarnation[index],
                     self.validation_epoch[index],
                     valid,
+                    bad_keys,
                 ),
                 tx_index=index,
             )
@@ -154,10 +162,17 @@ class _BlockSTMScheduler:
     # ---------------------------------------------------------- completion
 
     def on_complete(self, task: Task, now_us: float) -> None:
+        if self._on_counter is not None:
+            ready = sum(1 for s in self.status if s == READY)
+            self._on_counter("ready txs", now_us, ready)
         if task.kind == "execute":
             self._on_executed(*task.payload)
         elif task.kind == "suspend":
             index, blocking_tx = task.payload
+            if self._on_edge is not None:
+                # The reader burned simulated time before hitting the
+                # blocking writer's ESTIMATE marker — a real dependency edge.
+                self._on_edge("estimate-wait", blocking_tx, index)
             if self.status[blocking_tx] == EXECUTED:
                 # The dependency resolved while we were aborting: retry now.
                 self.status[index] = READY
@@ -166,7 +181,7 @@ class _BlockSTMScheduler:
                 self.status[index] = BLOCKED
                 self.dependents.setdefault(blocking_tx, set()).add(index)
         else:  # validate
-            index, incarnation, epoch, valid = task.payload
+            index, incarnation, epoch, valid, bad_keys = task.payload
             if (
                 self.status[index] != EXECUTED
                 or self.incarnation[index] != incarnation
@@ -176,6 +191,7 @@ class _BlockSTMScheduler:
             if valid:
                 self.validated[index] = True
             else:
+                self._record_abort_keys(index, bad_keys)
                 self._abort(index, now_us)
 
     def _on_executed(self, index: int, result: TxResult, read_versions) -> None:
@@ -226,12 +242,38 @@ class _BlockSTMScheduler:
 
     # ---------------------------------------------------------- validation
 
-    def _check_reads(self, index: int) -> bool:
-        """Compare recorded read versions against current MV-memory state."""
+    def _check_reads(self, index: int) -> list:
+        """Read-set keys whose recorded version no longer matches MV-memory.
+
+        Empty means the incarnation validates.  Uninstrumented runs return
+        after the first mismatch (the classic early-out); with metrics or an
+        edge-reporting observer attached *every* mismatched key is collected
+        so the abort can be attributed per slot.  The verdict and the
+        validation task's simulated duration are identical either way.
+        """
+        collect = self._metrics is not None or self._on_edge is not None
+        bad: list = []
         for key, version in self.read_versions[index].items():
             if self.mv.current_version(key, index) != version:
-                return False
-        return True
+                bad.append(key)
+                if not collect:
+                    break
+        return bad
+
+    def _record_abort_keys(self, index: int, bad_keys: list) -> None:
+        """Attribute a real (non-stale) abort to the keys that triggered it."""
+        if not bad_keys:
+            return  # forced abort (chaos) or version-only mismatch
+        if self._metrics is not None:
+            for key in bad_keys:
+                self._metrics.counter(
+                    "stm_abort_keys", key=str(key), contract=key_address(key).hex()
+                ).inc()
+        if self._on_edge is not None:
+            for key in bad_keys:
+                version = self.mv.current_version(key, index)
+                src = version[1] if version[0] in ("tx", "estimate") else None
+                self._on_edge("stm-abort", src, index, key=str(key))
 
     def done(self) -> bool:
         return all(s == EXECUTED for s in self.status) and all(self.validated)
@@ -266,8 +308,25 @@ class BlockSTMExecutor(BlockExecutor):
         # Like every block executor, Block-STM must publish write sets to
         # the state database in block order once transactions are final —
         # the same serial commit spine the OCC-family executors pay at
-        # their ordered commit points.
-        makespan += sum(commit_cost_us(r, self.cost_model) for r in results)
+        # their ordered commit points.  The tail accumulates exactly like
+        # sum() so makespans stay bit-identical whether or not the
+        # observer-only commit spans (virtual worker lane ``threads``) are
+        # emitted.
+        observer = self.observer
+        tail = 0.0
+        for index, result in enumerate(scheduler.results):
+            if result is None:
+                continue
+            cost = commit_cost_us(result, self.cost_model)
+            if observer is not None:
+                observer.on_span(
+                    self.threads,
+                    Task(kind="commit", duration_us=cost, tx_index=index),
+                    makespan + tail,
+                    makespan + tail + cost,
+                )
+            tail += cost
+        makespan += tail
         overlay = BlockOverlay()
         overlay.apply(scheduler.mv.final_writes(len(txs)))
         settle_fees(overlay, world, results, env)

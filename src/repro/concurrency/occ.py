@@ -22,6 +22,8 @@ from .base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    observer_counter_hook,
+    observer_edge_hook,
     publish_stats,
     record_conflict_keys,
     run_speculative,
@@ -46,6 +48,9 @@ class _OCCScheduler:
         self.results: list[TxResult | None] = [None] * len(txs)
         self.aborts = 0
         self.executions = 0
+        self._on_edge = observer_edge_hook(executor.observer)
+        self._on_counter = observer_counter_hook(executor.observer)
+        self._last_writer: dict | None = {} if self._on_edge is not None else None
 
     # ------------------------------------------------------------ machine
 
@@ -88,6 +93,8 @@ class _OCCScheduler:
         return None
 
     def on_complete(self, task: Task, now_us: float) -> None:
+        if self._on_counter is not None:
+            self._on_counter("ready txs", now_us, len(self.pending))
         if task.kind == "execute":
             index, result = task.payload
             self.exec_done[index] = result
@@ -99,9 +106,21 @@ class _OCCScheduler:
         if conflicts:
             self.aborts += 1
             record_conflict_keys(self.executor.metrics, conflicts)
+            if self._on_edge is not None:
+                for key in conflicts:
+                    self._on_edge(
+                        "conflict",
+                        self._last_writer.get(key),
+                        index,
+                        key=str(key),
+                    )
+                self._on_edge("reexecute", None, index)
             self.pending.appendleft(index)  # re-execute as soon as possible
             return
         self.overlay.apply(result.write_set)
+        if self._last_writer is not None:
+            for key in result.write_set:
+                self._last_writer[key] = index
         self.results[index] = result
         self.next_commit += 1
 

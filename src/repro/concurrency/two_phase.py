@@ -28,6 +28,7 @@ from .base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    observer_edge_hook,
     publish_stats,
     record_conflict_keys,
     run_speculative,
@@ -83,16 +84,32 @@ class TwoPhaseExecutor(BlockExecutor):
                 )
 
         # Survivors: footprint disjoint from every earlier tx's writes.
+        on_edge = observer_edge_hook(observer)
+        spec_writer: dict | None = {} if on_edge is not None else None
         written_so_far: set = set()
         survivor = [False] * len(txs)
         for i, result in enumerate(speculative):
             footprint = set(result.read_set) | set(result.write_set)
-            if not (footprint & written_so_far):
+            overlap = footprint & written_so_far
+            if not overlap:
                 survivor[i] = True
+            else:
+                # A phase-1 discard is a conflict like any other: feed the
+                # per-key heatmap/attribution series.
+                record_conflict_keys(self.metrics, overlap)
+                if on_edge is not None:
+                    # Sorted for deterministic trace output (sets of keys
+                    # with bytes components iterate in hash order otherwise).
+                    for key in sorted(overlap, key=repr):
+                        on_edge("conflict", spec_writer.get(key), i, key=str(key))
             written_so_far.update(result.write_set)
+            if spec_writer is not None:
+                for key in result.write_set:
+                    spec_writer[key] = i
 
         # ---- Phase 2: in-order commit; discarded txs re-run serially -----
         overlay = BlockOverlay()
+        committed_writer: dict | None = {} if on_edge is not None else None
         results: list[TxResult] = []
         phase2_us = 0.0
         discarded = 0
@@ -122,11 +139,23 @@ class TwoPhaseExecutor(BlockExecutor):
                     # after all: fall back to a serial re-run.
                     survivor[i] = False
                     record_conflict_keys(self.metrics, conflicts)
+                    if on_edge is not None:
+                        for key in conflicts:
+                            on_edge(
+                                "conflict",
+                                committed_writer.get(key),
+                                i,
+                                key=str(key),
+                            )
+                        on_edge("reexecute", None, i)
             if not survivor[i]:
                 discarded += 1
                 result, meter = run_speculative(world, overlay, tx, env, cm)
                 span("execute", i, meter.total_us)
             overlay.apply(result.write_set)
+            if committed_writer is not None:
+                for key in result.write_set:
+                    committed_writer[key] = i
             span("commit", i, commit_cost_us(result, cm))
             results.append(result)
 

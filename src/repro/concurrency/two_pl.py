@@ -33,6 +33,7 @@ from .base import (
     BlockExecutor,
     BlockResult,
     commit_cost_us,
+    observer_edge_hook,
     publish_stats,
     run_speculative,
     settle_fees,
@@ -150,7 +151,18 @@ class TwoPLExecutor(BlockExecutor):
         makespan, wounds, acquisitions = self._simulate_locks(sims)
         # The centralized lock manager's critical sections serialise across
         # threads: each successful acquisition passes through it.
-        makespan += acquisitions * self.cost_model.lock_table_serial_us
+        lock_table_us = acquisitions * self.cost_model.lock_table_serial_us
+        if self.observer is not None and lock_table_us > 0:
+            # Observer-only span on the virtual lane ``threads`` so the
+            # lock-manager tail shows up in traces and the critical path
+            # (total traced work must cover the whole makespan).
+            self.observer.on_span(
+                self.threads,
+                Task(kind="lock-manager", duration_us=lock_table_us),
+                makespan,
+                makespan + lock_table_us,
+            )
+        makespan += lock_table_us
         publish_stats(
             self.metrics, {"wounds": wounds, "lock_acquisitions": acquisitions}
         )
@@ -177,6 +189,7 @@ class TwoPLExecutor(BlockExecutor):
         """
         n = len(sims)
         observer = self.observer
+        on_edge = observer_edge_hook(observer)
         recovery = self.recovery
         deadline = recovery.block_deadline_us if recovery else None
         locks: dict[StateKey, int] = {}  # key -> holder index
@@ -347,6 +360,8 @@ class TwoPLExecutor(BlockExecutor):
                 elif index < holder:
                     # Wound the later-sequenced holder.  The freed lock then
                     # goes to the oldest claimant among the waiters and us.
+                    if on_edge is not None:
+                        on_edge("wound", index, holder, key=str(key))
                     wound(holder, skip_handoff=key)
                     queue = waiters.get(key, [])
                     oldest = min(
@@ -360,6 +375,8 @@ class TwoPLExecutor(BlockExecutor):
                     )
                     if oldest is not None and oldest < index:
                         grant_next(key)
+                        if on_edge is not None:
+                            on_edge("lock-wait", oldest, index, key=str(key))
                         sim.waiting_on = key
                         state[index] = "waiting"
                         heapq.heappush(waiters.setdefault(key, []), index)
@@ -373,6 +390,8 @@ class TwoPLExecutor(BlockExecutor):
                     start_ready()
                 else:
                     # Park on the lock; the thread goes back to the pool.
+                    if on_edge is not None:
+                        on_edge("lock-wait", holder, index, key=str(key))
                     sim.waiting_on = key
                     state[index] = "waiting"
                     heapq.heappush(waiters.setdefault(key, []), index)
@@ -394,6 +413,19 @@ class TwoPLExecutor(BlockExecutor):
                 schedule("commit", now + sim.commit_cost, index)
 
             elif kind == "commit":
+                if observer is not None and sim.commit_cost > 0:
+                    # The in-order commit point is a serial spine shared by
+                    # every worker: trace it on the virtual lane ``threads``.
+                    observer.on_span(
+                        self.threads,
+                        Task(
+                            kind="commit",
+                            duration_us=sim.commit_cost,
+                            tx_index=index,
+                        ),
+                        now - sim.commit_cost,
+                        now,
+                    )
                 next_commit += 1
                 state[index] = "committed"
                 release_all(sim)

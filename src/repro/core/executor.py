@@ -25,6 +25,8 @@ from ..concurrency.base import (
     BlockResult,
     commit_cost_us,
     find_conflicts,
+    observer_counter_hook,
+    observer_edge_hook,
     overlay_get,
     publish_stats,
     record_conflict_keys,
@@ -65,6 +67,15 @@ class _ParallelEVMScheduler:
         self.busy_at_commit_point = False
         self.redo_request: tuple[int, dict] | None = None
         self.results: list[TxResult | None] = [None] * len(txs)
+
+        # Telemetry-only hooks (None on the unobserved fast path): reported
+        # dependency edges need the last committed writer of each key, so
+        # that map is maintained only when an edge sink is attached.
+        self._on_edge = observer_edge_hook(executor.observer)
+        self._on_counter = observer_counter_hook(executor.observer)
+        self._last_writer: dict | None = (
+            {} if self._on_edge is not None else None
+        )
 
         # Resilience: the fault plan injects chaos, the ladder escalates
         # out of it (redo budget -> full re-execution -> per-tx serial
@@ -128,6 +139,22 @@ class _ParallelEVMScheduler:
                 duration += commit_cost_us(result, cm)
             self.redo_entries_total += outcome.reexecuted
             self.redo_time_us += redo_meter.total_us
+            if self.metrics is not None:
+                # Hot-slot attribution: charge the slice (and its
+                # re-executed op count) to every key that induced it.
+                from ..state.keys import key_address
+
+                for key in conflicts:
+                    labels = {
+                        "key": str(key),
+                        "contract": key_address(key).hex(),
+                    }
+                    self.metrics.counter(
+                        "redo_induced_slices", **labels
+                    ).inc()
+                    self.metrics.counter("redo_induced_ops", **labels).inc(
+                        outcome.reexecuted
+                    )
             self.busy_at_commit_point = True
             return Task(
                 kind="redo",
@@ -196,6 +223,8 @@ class _ParallelEVMScheduler:
         return None
 
     def on_complete(self, task: Task, now_us: float) -> None:
+        if self._on_counter is not None:
+            self._on_counter("ready txs", now_us, len(self.pending))
         if task.kind == "execute":
             index, result, tracer = task.payload
             self.exec_done[index] = (result, tracer)
@@ -213,12 +242,22 @@ class _ParallelEVMScheduler:
             if conflicts:
                 self.conflicting_txs += 1
                 record_conflict_keys(self.metrics, conflicts)
+                if self._on_edge is not None:
+                    for key in conflicts:
+                        self._on_edge(
+                            "conflict",
+                            self._last_writer.get(key),
+                            index,
+                            key=str(key),
+                        )
                 if self.ladder is not None:
                     try:
                         self.ladder.charge_redo(index)
                     except RedoBudgetExceeded:
                         # Redo budget exhausted: skip the redo and escalate
                         # straight to a full re-execution (write phase).
+                        if self._on_edge is not None:
+                            self._on_edge("reexecute", None, index)
                         self.full_aborts += 1
                         self.ladder.record_reexecution(index)
                         del self.exec_done[index]
@@ -252,6 +291,8 @@ class _ParallelEVMScheduler:
         # Constraint guard violated: abort, full re-execution (write phase).
         self.redo_failures += 1
         self.full_aborts += 1
+        if self._on_edge is not None:
+            self._on_edge("reexecute", None, index)
         if self.ladder is not None:
             self.ladder.record_reexecution(index)
         del self.exec_done[index]
@@ -260,6 +301,9 @@ class _ParallelEVMScheduler:
     def _commit(self, index: int) -> None:
         result, _tracer = self.exec_done.pop(index)
         self.overlay.apply(result.write_set)
+        if self._last_writer is not None:
+            for key in result.write_set:
+                self._last_writer[key] = index
         self.results[index] = result
         self.next_commit += 1
 

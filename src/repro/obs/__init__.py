@@ -20,6 +20,20 @@ Attach a :class:`BlockObserver` to any executor to light everything up::
     print(render_block_report(observer, result.makespan_us, 16))
 """
 
+from .attribution import (
+    AttributionReport,
+    SlotAttribution,
+    attribution_table,
+    collect_attribution,
+    contract_attribution_table,
+)
+from .critical_path import (
+    BlameSegment,
+    CriticalPathReport,
+    blamed_txs_table,
+    critical_path,
+    critical_path_table,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
     certification_table,
@@ -29,25 +43,46 @@ from .report import (
     phase_breakdown_table,
     redo_slice_table,
     render_block_report,
+    structural_bound_lines,
     utilization_table,
 )
-from .trace import BlockObserver, Observer, Span, TraceRecorder
+from .trace import (
+    BlockObserver,
+    CounterSample,
+    DependencyEdge,
+    Observer,
+    Span,
+    TraceRecorder,
+)
 
 __all__ = [
+    "AttributionReport",
+    "BlameSegment",
     "BlockObserver",
     "Counter",
+    "CounterSample",
+    "CriticalPathReport",
+    "DependencyEdge",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observer",
+    "SlotAttribution",
     "Span",
     "TraceRecorder",
+    "attribution_table",
+    "blamed_txs_table",
     "certification_table",
+    "collect_attribution",
     "commit_point_stall_us",
     "conflict_heatmap_table",
+    "contract_attribution_table",
+    "critical_path",
+    "critical_path_table",
     "degradation_table",
     "phase_breakdown_table",
     "redo_slice_table",
     "render_block_report",
+    "structural_bound_lines",
     "utilization_table",
 ]

@@ -98,8 +98,12 @@ class Histogram:
         self.sum += value
 
     def as_value(self) -> dict:
+        # The overflow bucket is exported with an explicit "+inf" upper
+        # edge so buckets and counts pair one-to-one: consumers that zip
+        # them can no longer silently drop everything above the last
+        # finite edge (multi-ms cold-read spans used to vanish this way).
         return {
-            "buckets": list(self.buckets),
+            "buckets": list(self.buckets) + ["+inf"],
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.sum,

@@ -116,18 +116,16 @@ def redo_slice_table(metrics: MetricsRegistry) -> str | None:
     hist = metrics.value("redo_slice_entries")
     if hist is None or hist["count"] == 0:
         return None
-    edges = hist["buckets"]
+    edges = hist["buckets"]  # finite upper edges then an explicit "+inf"
     rows = []
     lower = 0.0
-    for i, count in enumerate(hist["counts"]):
-        label = (
-            f"{lower:g}-{edges[i]:g}"
-            if i < len(edges)
-            else f">{edges[-1]:g}"
-        )
+    for edge, count in zip(edges, hist["counts"]):
+        if edge == "+inf":
+            label = f">{lower:g}"
+        else:
+            label = f"{lower:g}-{edge:g}"
+            lower = edge
         rows.append([label, count])
-        if i < len(edges):
-            lower = edges[i]
     mean = hist["sum"] / hist["count"]
     rows.append(["(mean entries)", f"{mean:.1f}"])
     return render_table(
@@ -226,13 +224,52 @@ def certification_table(metrics: MetricsRegistry) -> str | None:
     )
 
 
+def structural_bound_lines(analysis, makespan_us: float, serial_us: float | None = None) -> str:
+    """Work-span bound vs achieved speedup, as report lines.
+
+    ``analysis`` is a :class:`repro.analysis.conflict_graph.BlockConflictAnalysis`
+    (duck-typed to avoid an import cycle).  With ``serial_us`` the achieved
+    speedup is set against the transaction-level ceiling, making the gap
+    between "structural bound" and "what the scheduler got" explicit.
+    """
+    bound = analysis.tx_level_speedup_bound
+    lines = [
+        f"structural bound: {bound:.2f}x tx-level speedup ceiling "
+        f"(critical path {analysis.critical_path_txs} txs / "
+        f"{analysis.critical_path_us:.1f} us of {analysis.total_us:.1f} us total work)",
+        f"conflict share: {analysis.conflict_share:.1%} of txs are in conflicts",
+    ]
+    if serial_us is not None and makespan_us > 0:
+        achieved = serial_us / makespan_us
+        lines.append(
+            f"achieved speedup: {achieved:.2f}x = {achieved / bound:.1%} of the "
+            f"structural ceiling"
+        )
+    return "\n".join(lines)
+
+
 def render_block_report(
     observer: BlockObserver,
     makespan_us: float,
     threads: int,
     title: str = "block report",
+    analysis=None,
+    serial_us: float | None = None,
 ) -> str:
-    """The full per-block report: phases, utilization, stalls, conflicts."""
+    """The full per-block report: phases, utilization, stalls, conflicts,
+    the schedule's critical-path blame chain and the hot-slot attribution.
+
+    ``analysis`` (a ``BlockConflictAnalysis``) adds the structural-bound
+    and conflict-share lines; ``serial_us`` additionally reports the
+    achieved speedup against that ceiling.
+    """
+    from .attribution import (
+        attribution_table,
+        collect_attribution,
+        contract_attribution_table,
+    )
+    from .critical_path import blamed_txs_table, critical_path, critical_path_table
+
     parts = [
         title,
         "=" * len(title),
@@ -244,6 +281,17 @@ def render_block_report(
         f"commit-point stall: {stall:.1f} us "
         f"({stall / (makespan_us or 1.0):.1%} of makespan)"
     )
+    if analysis is not None:
+        parts.append(structural_bound_lines(analysis, makespan_us, serial_us))
+    path = critical_path(observer.trace, makespan_us)
+    parts.append(critical_path_table(path))
+    blamed = blamed_txs_table(path)
+    if blamed is not None:
+        parts.append(blamed)
+    attribution = collect_attribution(observer.metrics)
+    if attribution is not None:
+        parts.append(attribution_table(attribution))
+        parts.append(contract_attribution_table(attribution))
     heatmap = conflict_heatmap_table(observer.metrics)
     if heatmap is not None:
         parts.append(heatmap)

@@ -53,11 +53,47 @@ class Span:
         return self.end_us - self.start_us
 
 
+@dataclass(slots=True, frozen=True)
+class CounterSample:
+    """One sampled value of a named counter at a simulated instant."""
+
+    name: str
+    ts_us: float
+    value: float
+
+
+@dataclass(slots=True, frozen=True)
+class DependencyEdge:
+    """A reported causal edge between transactions of one schedule.
+
+    ``kind`` names the mechanism ("conflict", "abort", "estimate-wait",
+    "reexecute"); ``src_tx`` is the transaction whose commit/abort caused
+    the event (None when the scheduler cannot name one), ``dst_tx`` the
+    transaction it happened to, and ``key`` the storage key involved.
+    """
+
+    kind: str
+    src_tx: int | None
+    dst_tx: int | None
+    key: str | None = None
+
+
 class TraceRecorder:
-    """Accumulates spans; exports Chrome trace-event JSON."""
+    """Accumulates spans, counter samples and dependency edges.
+
+    Spans export as Chrome trace-event complete events; counter samples
+    (ready-queue depth reported by schedulers, plus a busy-worker series
+    derived from the spans themselves) export as counter events, so
+    Perfetto shows utilization tracks alongside the per-worker rows.
+    Dependency edges feed the critical-path profiler and the conflict
+    attribution report (:mod:`repro.obs.critical_path`,
+    :mod:`repro.obs.attribution`).
+    """
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
+        self.counters: list[CounterSample] = []
+        self.edges: list[DependencyEdge] = []
 
     def on_span(self, worker_id: int, task, start_us: float, end_us: float) -> None:
         self.spans.append(
@@ -68,6 +104,20 @@ class TraceRecorder:
                 start_us=start_us,
                 end_us=end_us,
             )
+        )
+
+    def on_counter(self, name: str, ts_us: float, value: float) -> None:
+        self.counters.append(CounterSample(name=name, ts_us=ts_us, value=value))
+
+    def on_edge(
+        self,
+        kind: str,
+        src_tx: int | None,
+        dst_tx: int | None,
+        key: str | None = None,
+    ) -> None:
+        self.edges.append(
+            DependencyEdge(kind=kind, src_tx=src_tx, dst_tx=dst_tx, key=key)
         )
 
     # ------------------------------------------------------------ queries
@@ -91,6 +141,28 @@ class TraceRecorder:
             totals[span.kind] = totals.get(span.kind, 0.0) + span.duration_us
         return totals
 
+    def busy_worker_series(self) -> list[tuple[float, int]]:
+        """(timestamp, busy-worker count) at every change point.
+
+        Derived from the spans: +1 at each start, -1 at each end, with ends
+        processed before starts at the same instant so back-to-back spans on
+        one worker don't double-count at the boundary.
+        """
+        deltas: list[tuple[float, int]] = []
+        for span in self.spans:
+            deltas.append((span.start_us, 1))
+            deltas.append((span.end_us, -1))
+        deltas.sort()
+        series: list[tuple[float, int]] = []
+        busy = 0
+        for ts, delta in deltas:
+            busy += delta
+            if series and series[-1][0] == ts:
+                series[-1] = (ts, busy)
+            else:
+                series.append((ts, busy))
+        return series
+
     # ------------------------------------------------------------- export
 
     def to_chrome_trace(self, process_name: str = "repro") -> dict:
@@ -98,7 +170,13 @@ class TraceRecorder:
 
         Uses complete events (``"ph": "X"``) — one per span — with the
         simulated worker as the thread id, plus metadata events naming the
-        process and threads so Perfetto renders labelled rows.
+        process and threads so Perfetto renders labelled rows, plus counter
+        events (``"ph": "C"``): a busy-worker series derived from the spans
+        and any scheduler-reported counters (ready-queue depth), so
+        utilization renders alongside the per-worker span rows.
+
+        Byte-determinism is preserved: every event is a pure function of
+        the recorded simulated-time data, and serialisation sorts keys.
         """
         events: list[dict] = [
             {
@@ -135,6 +213,28 @@ class TraceRecorder:
                     "args": args,
                 }
             )
+        for ts, busy in self.busy_worker_series():
+            events.append(
+                {
+                    "name": "busy workers",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"busy": busy},
+                }
+            )
+        for sample in self.counters:
+            events.append(
+                {
+                    "name": sample.name,
+                    "ph": "C",
+                    "ts": sample.ts_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"value": sample.value},
+                }
+            )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def to_chrome_json(self, process_name: str = "repro") -> str:
@@ -167,3 +267,16 @@ class BlockObserver:
         self.metrics.histogram(
             "span_duration_us", SPAN_DURATION_BUCKETS_US
         ).observe(duration)
+
+    def on_counter(self, name: str, ts_us: float, value: float) -> None:
+        self.trace.on_counter(name, ts_us, value)
+
+    def on_edge(
+        self,
+        kind: str,
+        src_tx: int | None,
+        dst_tx: int | None,
+        key: str | None = None,
+    ) -> None:
+        self.trace.on_edge(kind, src_tx, dst_tx, key=key)
+        self.metrics.counter("dependency_edges_total", kind=kind).inc()

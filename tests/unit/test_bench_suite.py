@@ -1,0 +1,79 @@
+"""The regression gate's comparison logic (no workload execution here)."""
+
+from __future__ import annotations
+
+from repro.bench.suite import BENCH_SCHEMA_VERSION, SUITES, compare_bench
+
+
+def doc(makespans: dict[str, float], schema: int = BENCH_SCHEMA_VERSION) -> dict:
+    """A minimal benchmark document with one sweep point."""
+    return {
+        "schema_version": schema,
+        "suite": {"name": "synthetic"},
+        "sweeps": {
+            "threads": {
+                "parameter": "threads",
+                "points": [
+                    {
+                        "point": 8,
+                        "executors": {
+                            name: {"makespan_us": us}
+                            for name, us in makespans.items()
+                        },
+                    }
+                ],
+            }
+        },
+    }
+
+
+class TestCompareBench:
+    def test_identical_documents_pass(self):
+        base = doc({"occ": 100.0, "parallelevm": 50.0})
+        assert compare_bench(doc({"occ": 100.0, "parallelevm": 50.0}), base) == []
+
+    def test_within_gate_passes(self):
+        base = doc({"occ": 100.0})
+        assert compare_bench(doc({"occ": 120.0}), base, gate_pct=25.0) == []
+
+    def test_slowdown_past_gate_fails(self):
+        base = doc({"occ": 100.0})
+        problems = compare_bench(doc({"occ": 130.0}), base, gate_pct=25.0)
+        assert len(problems) == 1
+        assert "occ" in problems[0]
+        assert "+30.0%" in problems[0]
+
+    def test_speedup_never_fails(self):
+        base = doc({"occ": 100.0})
+        assert compare_bench(doc({"occ": 10.0}), base, gate_pct=25.0) == []
+
+    def test_missing_executor_fails(self):
+        base = doc({"occ": 100.0, "parallelevm": 50.0})
+        problems = compare_bench(doc({"occ": 100.0}), base)
+        assert any("parallelevm" in p and "missing" in p for p in problems)
+
+    def test_missing_sweep_fails(self):
+        base = doc({"occ": 100.0})
+        current = doc({"occ": 100.0})
+        current["sweeps"] = {}
+        problems = compare_bench(current, base)
+        assert problems and "missing" in problems[0]
+
+    def test_schema_mismatch_refuses_to_gate(self):
+        base = doc({"occ": 100.0}, schema=BENCH_SCHEMA_VERSION + 1)
+        problems = compare_bench(doc({"occ": 100.0}), base)
+        assert len(problems) == 1
+        assert "schema version" in problems[0]
+
+    def test_extra_current_executor_is_fine(self):
+        base = doc({"occ": 100.0})
+        assert compare_bench(doc({"occ": 100.0, "new": 1.0}), base) == []
+
+
+class TestSuiteCatalogue:
+    def test_known_suites(self):
+        assert {"tiny", "small", "default"} <= set(SUITES)
+
+    def test_suite_names_match_keys(self):
+        for key, config in SUITES.items():
+            assert config.name == key

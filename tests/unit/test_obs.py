@@ -62,12 +62,21 @@ class TestHistogram:
     def test_as_value(self):
         h = Histogram([10])
         h.observe(3)
+        # The export carries an explicit "+inf" edge so buckets and counts
+        # pair one-to-one and the overflow bucket is never silently dropped.
         assert h.as_value() == {
-            "buckets": [10],
+            "buckets": [10, "+inf"],
             "counts": [1, 0],
             "count": 1,
             "sum": 3.0,
         }
+
+    def test_overflow_bucket_exported(self):
+        h = Histogram([10, 1000])
+        h.observe(5000)
+        value = h.as_value()
+        assert value["buckets"] == [10, 1000, "+inf"]
+        assert value["counts"] == [0, 0, 1]
 
 
 class TestMetricsRegistry:
