@@ -15,9 +15,14 @@ serial block-order execution) gets an automated hunter:
   catches the bug class it exists for;
 - :mod:`repro.check.chaos` — the certifier under systematic fault
   injection (:mod:`repro.resilience`): every executor must survive every
-  chaos scenario and still match serial state, receipts and gas.
+  chaos scenario and still match serial state, receipts and gas;
+- :mod:`repro.check.crashfuzz` — the crash fuzzer: process death at
+  every site of the durable commit path (:mod:`repro.durability`) must
+  recover to exactly the pre- or post-block state, and reorg rollbacks
+  must reproduce the serial reference.
 
-CLI entry points: ``repro fuzz``, ``repro certify`` and ``repro chaos``.
+CLI entry points: ``repro fuzz``, ``repro certify``, ``repro chaos`` and
+``repro crashfuzz``.
 """
 
 from .certify import (
@@ -33,6 +38,13 @@ from .chaos import (
     chaos_executors,
     run_chaos_block,
 )
+from .crashfuzz import (
+    CRASH_EXECUTORS,
+    CrashSweepReport,
+    ReorgRoundTripReport,
+    crash_sweep_block,
+    reorg_roundtrip_block,
+)
 from .fuzzer import BlockFuzzer, FuzzConfig
 from .mutations import (
     MUTATIONS,
@@ -47,9 +59,14 @@ __all__ = [
     "BlockFuzzer",
     "CERTIFIED_EXECUTORS",
     "CHAOS_EXECUTORS",
+    "CRASH_EXECUTORS",
     "CertificationReport",
     "ChaosBlockReport",
+    "CrashSweepReport",
+    "ReorgRoundTripReport",
     "chaos_executors",
+    "crash_sweep_block",
+    "reorg_roundtrip_block",
     "Divergence",
     "FuzzConfig",
     "MUTATIONS",

@@ -167,6 +167,16 @@ def run_chaos_block(
     """
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
+    if scenario.kind != "faults":
+        return _run_durability_scenario(
+            chain,
+            block,
+            scenario,
+            seed=seed,
+            threads=threads,
+            check_roots=check_roots,
+            metrics=metrics,
+        )
     if recovery is None:
         probe = SerialExecutor().execute_block(
             chain.fresh_world(), block.txs, block.env
@@ -210,6 +220,75 @@ def run_chaos_block(
         seed=seed,
         certification=certification,
         deadline_us=policy.block_deadline_us or 0.0,
+        counters=counters,
+        faults_injected=faults,
+    )
+
+
+def _run_durability_scenario(
+    chain: Chain,
+    block: Block,
+    scenario: ChaosScenario,
+    seed: int | str = 0,
+    threads: int = 8,
+    check_roots: bool = True,
+    metrics=None,
+) -> ChaosBlockReport:
+    """Chaos kinds whose adversary is process death, not slow hardware.
+
+    ``kind="crash"`` sweeps every crash site of the durable commit path;
+    ``kind="reorg"`` runs the rollback round trip.  Both cover the same
+    seven executor configs as the fault scenarios and reuse the
+    certification/shrink/dump plumbing via the reports' ``certification``
+    adapters; "faults injected" counts simulated process deaths (crash
+    sweeps) or block rollbacks (reorgs).
+    """
+    from .crashfuzz import crash_sweep_block, reorg_roundtrip_block
+
+    if scenario.kind == "crash":
+        sweep = crash_sweep_block(
+            chain,
+            block,
+            threads=threads,
+            checkpoint_interval=1,
+            check_roots=check_roots,
+            metrics=metrics,
+        )
+        certification = sweep.certification
+        counters = {
+            "crash_sites": float(len(sweep.sites)),
+            "crashes_injected": float(sweep.crashes_injected),
+            "recoveries": float(sweep.recoveries),
+        }
+        faults = float(sweep.crashes_injected)
+    elif scenario.kind == "reorg":
+        roundtrip = reorg_roundtrip_block(
+            chain,
+            block,
+            threads=threads,
+            check_roots=check_roots,
+            metrics=metrics,
+        )
+        certification = roundtrip.certification
+        counters = {
+            "reorg_depth": float(roundtrip.depth),
+            "rollbacks": float(roundtrip.rollbacks),
+        }
+        faults = float(roundtrip.rollbacks)
+    else:
+        raise ValueError(f"unknown chaos scenario kind {scenario.kind!r}")
+
+    if metrics is not None:
+        metrics.counter("chaos_blocks_total", scenario=scenario.name).inc()
+        if not certification.ok:
+            metrics.counter(
+                "chaos_failed_blocks_total", scenario=scenario.name
+            ).inc()
+    return ChaosBlockReport(
+        scenario=scenario.name,
+        seed=seed,
+        certification=certification,
+        deadline_us=0.0,
         counters=counters,
         faults_injected=faults,
     )

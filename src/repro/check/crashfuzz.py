@@ -1,0 +1,386 @@
+"""The crash fuzzer: certifying commit atomicity at every crash site.
+
+``crash_sweep_block`` executes one block with every executor config, then
+for each enumerated crash site of the durable commit path
+(:func:`repro.durability.enumerate_crash_sites`) commits the result onto a
+fresh world with a :class:`~repro.durability.crash.CrashInjector` armed on
+exactly that site, lets the simulated process die, discards every live
+object except the durable medium, and drives
+:func:`repro.durability.recover`.  The certified invariant is binary:
+
+    the recovered state fingerprint equals the **pre-block** state for
+    every site up to and including the torn COMMIT marker, and the
+    **post-block** state for every site after it — never anything else.
+
+MPT state roots (the paper's §6.2 criterion) are additionally checked at
+the two sites bracketing the atomicity boundary, where a torn hybrid would
+hide if fingerprints ever collided.
+
+``reorg_roundtrip_block`` exercises the other consumer of the journal's
+undo history: it commits an ancestor plus two canonical blocks durably,
+rolls the chain back to the ancestor through
+:class:`~repro.durability.reorg.ReorgManager`, re-executes the same
+transactions as a single fork block, and verifies — per executor — that
+the post-reorg state matches a serial reference of ancestor+fork and that
+recovery from the post-reorg journal reproduces it.
+
+Both entry points run per executor config (the seven the chaos suite
+covers), so "atomic under crashes" is certified for every commit path, not
+just the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..concurrency import (
+    BlockSTMExecutor,
+    OCCExecutor,
+    SerialExecutor,
+    TwoPhaseExecutor,
+    TwoPLExecutor,
+)
+from ..core.executor import ParallelEVMExecutor
+from ..durability import (
+    CrashInjector,
+    DurableCommitPipeline,
+    MemoryMedium,
+    ReorgManager,
+    SimulatedCrash,
+    enumerate_crash_sites,
+    recover,
+    site_expected_state,
+)
+from ..errors import DurabilityError, RecoveryError, ReorgDepthExceeded
+from ..workloads import Block, Chain
+from .certify import CertificationReport, Divergence
+
+# Executor factories for the crash sweep: name -> (threads) -> executor.
+# The same seven configs the chaos suite certifies; crash injection lives
+# in the commit pipeline, so the executors themselves run fault-free.
+CRASH_EXECUTORS: dict[str, Callable] = {
+    "serial": lambda threads: SerialExecutor(),
+    "2pl": lambda threads: TwoPLExecutor(threads=threads),
+    "occ": lambda threads: OCCExecutor(threads=threads),
+    "block-stm": lambda threads: BlockSTMExecutor(threads=threads),
+    "two-phase": lambda threads: TwoPhaseExecutor(threads=threads),
+    "parallelevm": lambda threads: ParallelEVMExecutor(threads=threads),
+    "parallelevm-preexec": lambda threads: ParallelEVMExecutor(
+        threads=threads, preexecute=True
+    ),
+}
+
+# Sites where the sweep upgrades the fingerprint check to a full MPT root
+# comparison: the two states bracketing the atomicity boundary.
+_ROOT_CHECK_SITES = frozenset({"pre-commit", "post-commit"})
+
+
+@dataclass(slots=True)
+class CrashSweepReport:
+    """One block's crash sweep across sites × executor configs."""
+
+    block_number: int
+    tx_count: int
+    sites: list[str] = field(default_factory=list)
+    executors: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    crashes_injected: int = 0
+    recoveries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def certification(self) -> CertificationReport:
+        """The sweep as a :class:`CertificationReport` (shared plumbing)."""
+        return CertificationReport(
+            block_number=self.block_number,
+            tx_count=self.tx_count,
+            executors=list(self.executors),
+            divergences=list(self.divergences),
+        )
+
+    def describe(self) -> str:
+        head = (
+            f"crash sweep block {self.block_number} ({self.tx_count} txs, "
+            f"{len(self.sites)} sites x {len(self.executors)} executors, "
+            f"{self.crashes_injected} crashes, {self.recoveries} recoveries): "
+        )
+        if self.ok:
+            return head + "atomic at every site"
+        lines = [head + f"{len(self.divergences)} VIOLATIONS"]
+        lines += ["  " + d.describe() for d in self.divergences]
+        return "\n".join(lines)
+
+
+def crash_sweep_block(
+    chain: Chain,
+    block: Block,
+    threads: int = 8,
+    executors: dict[str, Callable] | None = None,
+    checkpoint_interval: int = 0,
+    check_roots: bool = True,
+    metrics=None,
+) -> CrashSweepReport:
+    """Certify commit atomicity of ``block`` at every crash site.
+
+    Each executor config executes the block once (deterministically); its
+    :class:`BlockResult` is then committed once per site onto a fresh
+    world, crashed, and recovered.  ``checkpoint_interval=1`` makes the
+    commit checkpoint, adding the snapshot crash sites to the sweep.
+    ``check_roots`` upgrades the boundary sites' fingerprint comparison to
+    full MPT root equality.
+    """
+    executors = CRASH_EXECUTORS if executors is None else executors
+    sites = enumerate_crash_sites(
+        len(block.txs), checkpoint=checkpoint_interval == 1
+    )
+    report = CrashSweepReport(
+        block_number=block.number, tx_count=len(block), sites=sites
+    )
+
+    pre_world = chain.fresh_world()
+    pre_fp = pre_world.fingerprint()
+    pre_root = pre_world.state_root() if check_roots else None
+
+    for name, factory in executors.items():
+        report.executors.append(name)
+        executor = factory(threads)
+        result = executor.execute_block(
+            chain.fresh_world(), block.txs, block.env
+        )
+        post_world = chain.fresh_world()
+        post_world.apply(result.writes)
+        post_fp = post_world.fingerprint()
+        post_root = post_world.state_root() if check_roots else None
+
+        for site in sites:
+            medium = MemoryMedium()
+            crash = CrashInjector(site)
+            pipeline = DurableCommitPipeline(
+                medium,
+                checkpoint_interval=checkpoint_interval,
+                crash=crash,
+                metrics=metrics,
+            )
+            world = chain.fresh_world()
+            try:
+                pipeline.commit(world, block.number, result)
+            except SimulatedCrash:
+                pass
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(name, f"crash:{site}", f"commit raised {exc}")
+                )
+                continue
+            if not crash.fired:
+                # The site silently stopped existing: the sweep would be
+                # certifying nothing there.
+                report.divergences.append(
+                    Divergence(name, f"crash:{site}", "site never fired")
+                )
+                continue
+            report.crashes_injected += 1
+
+            try:
+                recovered = recover(medium, chain.fresh_world, metrics=metrics)
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(name, f"crash:{site}", f"recovery raised {exc}")
+                )
+                continue
+            report.recoveries += 1
+
+            expected = site_expected_state(site)
+            want_fp = pre_fp if expected == "pre" else post_fp
+            if recovered.world.fingerprint() != want_fp:
+                report.divergences.append(
+                    Divergence(
+                        name,
+                        f"crash:{site}",
+                        f"recovered state is neither pre- nor the expected "
+                        f"{expected}-block state ({recovered.describe()})",
+                    )
+                )
+                continue
+            if check_roots and site in _ROOT_CHECK_SITES:
+                want_root = pre_root if expected == "pre" else post_root
+                if recovered.world.state_root() != want_root:
+                    report.divergences.append(
+                        Divergence(
+                            name,
+                            f"crash:{site}",
+                            f"MPT root differs from the {expected}-block root",
+                        )
+                    )
+
+    if metrics is not None:
+        metrics.counter("crashfuzz_blocks_total").inc()
+        if not report.ok:
+            metrics.counter("crashfuzz_failed_blocks_total").inc()
+        metrics.counter("crashfuzz_crashes_total").inc(report.crashes_injected)
+    return report
+
+
+# ------------------------------------------------------------------- reorg
+
+
+@dataclass(slots=True)
+class ReorgRoundTripReport:
+    """One block's reorg round trip across executor configs."""
+
+    block_number: int
+    tx_count: int
+    depth: int
+    executors: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    rollbacks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def certification(self) -> CertificationReport:
+        return CertificationReport(
+            block_number=self.block_number,
+            tx_count=self.tx_count,
+            executors=list(self.executors),
+            divergences=list(self.divergences),
+        )
+
+    def describe(self) -> str:
+        head = (
+            f"reorg round trip block {self.block_number} "
+            f"({self.tx_count} txs, depth {self.depth}, "
+            f"{len(self.executors)} executors, {self.rollbacks} rollbacks): "
+        )
+        if self.ok:
+            return head + "fork state matches the serial reference"
+        lines = [head + f"{len(self.divergences)} VIOLATIONS"]
+        lines += ["  " + d.describe() for d in self.divergences]
+        return "\n".join(lines)
+
+
+def _copy_block(number: int, txs, env) -> Block:
+    """A Block over *copies* of ``txs`` (``__post_init__`` renumbers them)."""
+    return Block(
+        number=number,
+        txs=[replace(tx) for tx in txs],
+        env=replace(env, number=number),
+    )
+
+
+def reorg_roundtrip_block(
+    chain: Chain,
+    block: Block,
+    threads: int = 8,
+    executors: dict[str, Callable] | None = None,
+    check_roots: bool = True,
+    metrics=None,
+) -> ReorgRoundTripReport:
+    """Certify undo-preimage rollback + fork re-execution per executor.
+
+    ``block`` is split (contiguously, preserving per-sender nonce order)
+    into an ancestor block A and two canonical blocks M1, M2; the fork
+    branch F carries M1+M2's transactions as one block at M1's height.
+    For every executor config: commit A, M1, M2 durably; roll back to A
+    (verified against a serial reference of A); execute and commit F;
+    verify the final state — and a recovery from the post-reorg journal —
+    against a serial reference of A+F.
+    """
+    executors = CRASH_EXECUTORS if executors is None else executors
+    txs = block.txs
+    third = max(1, len(txs) // 3)
+    base = block.number
+    ancestor = _copy_block(base, txs[:third], block.env)
+    main1 = _copy_block(base + 1, txs[third : 2 * third], block.env)
+    main2 = _copy_block(base + 2, txs[2 * third :], block.env)
+    fork = _copy_block(base + 1, txs[third:], block.env)
+
+    report = ReorgRoundTripReport(
+        block_number=block.number, tx_count=len(block), depth=2
+    )
+
+    # Serial references: the ancestor state (the rollback target) and the
+    # ancestor+fork state (the post-reorg tip).
+    serial = SerialExecutor()
+    ref = chain.fresh_world()
+    ref.apply(serial.execute_block(ref, ancestor.txs, ancestor.env).writes)
+    ancestor_fp = ref.fingerprint()
+    ref.apply(serial.execute_block(ref, fork.txs, fork.env).writes)
+    fork_fp = ref.fingerprint()
+    fork_root = ref.state_root() if check_roots else None
+
+    for name, factory in executors.items():
+        report.executors.append(name)
+        executor = factory(threads)
+        medium = MemoryMedium()
+        pipeline = DurableCommitPipeline(medium, metrics=metrics)
+        world = chain.fresh_world()
+        try:
+            for canonical in (ancestor, main1, main2):
+                result = executor.execute_block(
+                    world, canonical.txs, canonical.env
+                )
+                pipeline.commit(world, canonical.number, result)
+
+            manager = ReorgManager(pipeline, metrics=metrics)
+            undone = manager.rollback(world, ancestor.number)
+            report.rollbacks += 1
+            if undone != [main2.number, main1.number]:
+                report.divergences.append(
+                    Divergence(name, "reorg", f"unexpected undo set {undone}")
+                )
+                continue
+            if world.fingerprint() != ancestor_fp:
+                report.divergences.append(
+                    Divergence(
+                        name,
+                        "reorg",
+                        "rolled-back state differs from the serial "
+                        "ancestor reference",
+                    )
+                )
+                continue
+
+            result = executor.execute_block(world, fork.txs, fork.env)
+            pipeline.commit(world, fork.number, result)
+        except (DurabilityError, RecoveryError, ReorgDepthExceeded) as exc:
+            report.divergences.append(
+                Divergence(name, "reorg", f"round trip raised {exc}")
+            )
+            continue
+
+        if world.fingerprint() != fork_fp:
+            report.divergences.append(
+                Divergence(
+                    name,
+                    "reorg",
+                    "post-reorg state differs from the serial A+F reference",
+                )
+            )
+            continue
+        if check_roots and world.state_root() != fork_root:
+            report.divergences.append(
+                Divergence(name, "reorg", "post-reorg MPT root differs")
+            )
+            continue
+        recovered = recover(medium, chain.fresh_world, metrics=metrics)
+        if recovered.world.fingerprint() != fork_fp:
+            report.divergences.append(
+                Divergence(
+                    name,
+                    "reorg",
+                    f"recovery from the post-reorg journal diverged "
+                    f"({recovered.describe()})",
+                )
+            )
+
+    if metrics is not None:
+        metrics.counter("crashfuzz_reorg_roundtrips_total").inc()
+        if not report.ok:
+            metrics.counter("crashfuzz_failed_reorgs_total").inc()
+    return report

@@ -11,6 +11,8 @@ inspect      print the SSA operation log of one transaction and walk a redo
 fuzz         certify fuzzed adversarial blocks, shrinking/dumping failures
 chaos        certify blocks with every executor under fault injection
 certify      the serializability acceptance gate (fixed seed matrix)
+crashfuzz    certify commit atomicity at every crash site, plus reorgs
+recover      rebuild world state from an on-disk journal + snapshots
 
 Every command is deterministic: the same arguments print the same numbers.
 """
@@ -204,7 +206,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     workload = standard_workload(chain, args.txs)
     serial_world = chain.fresh_world()
     parallel_world = chain.fresh_world()
-    executor = ParallelEVMExecutor(threads=args.threads)
+
+    pipeline = None
+    if args.durable_dir:
+        from .durability import DurableCommitPipeline, FileMedium
+
+        pipeline = DurableCommitPipeline(
+            FileMedium(args.durable_dir),
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    executor = ParallelEVMExecutor(threads=args.threads, durability=pipeline)
 
     for number in range(args.block, args.block + args.count):
         block = workload.block(number)
@@ -213,15 +224,46 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         )
         serial_world.apply(serial.writes)
         result = executor.execute_block(parallel_world, block.txs, block.env)
-        parallel_world.apply(result.writes)
+        commit_us = executor.commit_block(parallel_world, number, result)
         serial_root = serial_world.state_root()
         if parallel_world.state_root() != serial_root:
             print(f"block {number}: STATE ROOT MISMATCH", file=sys.stderr)
             return 1
+        durable = f", durable commit {commit_us:.0f} us" if pipeline else ""
         print(
             f"block {number}: root {serial_root.hex()[:16]}… ok, "
-            f"speedup {serial.makespan_us / result.makespan_us:.2f}x"
+            f"speedup {serial.makespan_us / result.makespan_us:.2f}x{durable}"
         )
+    if pipeline is not None:
+        print(
+            f"journal: {pipeline.journal.records_written} records, "
+            f"{pipeline.journal.bytes_written} bytes, "
+            f"{pipeline.fsyncs} fsyncs -> {args.durable_dir} "
+            f"(recover with: repro recover --dir {args.durable_dir} "
+            f"--accounts {args.accounts})"
+        )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .durability import FileMedium, recover
+    from .errors import DurabilityError
+    from .resilience import RecoveryPolicy
+
+    chain = standard_chain(accounts=args.accounts)
+    policy = RecoveryPolicy(
+        corrupt_tail_policy="raise" if args.strict else "truncate"
+    )
+    try:
+        result = recover(FileMedium(args.dir), chain.fresh_world, policy=policy)
+    except DurabilityError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(result.describe())
+    print(
+        f"state fingerprint {result.world.fingerprint().hex()}, "
+        f"simulated replay {result.replay_us:.0f} us"
+    )
     return 0
 
 
@@ -404,6 +446,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_crashfuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from .check import (
+        BlockFuzzer,
+        FuzzConfig,
+        block_to_json,
+        crash_sweep_block,
+        reorg_roundtrip_block,
+    )
+    from .obs import MetricsRegistry, durability_table
+
+    fuzzer = BlockFuzzer(FuzzConfig(txs_per_block=args.txs))
+    metrics = MetricsRegistry()
+    failures = 0
+    for seed in range(args.seed, args.seed + args.blocks):
+        block = fuzzer.block(seed)
+        reports = [
+            crash_sweep_block(
+                fuzzer.chain,
+                block,
+                threads=args.threads,
+                checkpoint_interval=args.checkpoint_interval,
+                metrics=metrics,
+            )
+        ]
+        if not args.no_reorg:
+            reports.append(
+                reorg_roundtrip_block(
+                    fuzzer.chain, block, threads=args.threads, metrics=metrics
+                )
+            )
+        for report in reports:
+            if report.ok:
+                print(f"seed {seed}: {report.describe()}")
+                continue
+            failures += 1
+            print(f"seed {seed}: {report.describe()}", file=sys.stderr)
+            if args.dump:
+                os.makedirs(args.dump, exist_ok=True)
+                path = os.path.join(args.dump, f"crash-seed{seed}.json")
+                with open(path, "w") as fh:
+                    fh.write(block_to_json(block, report.certification))
+                print(f"seed {seed}: repro block -> {path}", file=sys.stderr)
+    table = durability_table(metrics)
+    if table is not None:
+        print("\n" + table)
+    return 1 if failures else 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from .check import (
         MUTATIONS,
@@ -513,7 +605,41 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--txs", type=int, default=60)
     replay.add_argument("--threads", type=int, default=16)
     replay.add_argument("--accounts", type=int, default=120)
+    replay.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        help="commit through an on-disk write-ahead journal in DIR "
+        "(crash-recoverable via `repro recover`)",
+    )
+    replay.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="snapshot + prune the journal every N blocks (0 disables)",
+    )
     replay.set_defaults(func=_cmd_replay)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild world state from a journal directory written by "
+        "`repro replay --durable-dir`",
+    )
+    recover.add_argument(
+        "--dir", required=True, metavar="DIR", help="the durable medium directory"
+    )
+    recover.add_argument(
+        "--accounts",
+        type=int,
+        default=120,
+        help="genesis sizing; must match the replay that wrote the journal",
+    )
+    recover.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on journal corruption instead of degrading to the "
+        "last certified prefix",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     inspect = sub.add_parser("inspect", help="print one tx's SSA operation log")
     inspect.add_argument("--block", type=int, default=14_000_000)
@@ -572,6 +698,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", metavar="FILE", help="write the metrics registry as JSON"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    crashfuzz = sub.add_parser(
+        "crashfuzz",
+        help="certify commit atomicity: crash at every site of the durable "
+        "commit path, recover, compare against pre/post-block state",
+    )
+    crashfuzz.add_argument("--seed", type=int, default=0, help="first fuzz seed")
+    crashfuzz.add_argument("--blocks", type=int, default=2, help="seeds to run")
+    crashfuzz.add_argument("--txs", type=int, default=16)
+    crashfuzz.add_argument("--threads", type=int, default=8)
+    crashfuzz.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="checkpoint cadence during the sweep (1 also sweeps the "
+        "snapshot crash sites; 0 disables checkpoints)",
+    )
+    crashfuzz.add_argument(
+        "--no-reorg",
+        action="store_true",
+        help="skip the reorg rollback round trip",
+    )
+    crashfuzz.add_argument(
+        "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
+    )
+    crashfuzz.set_defaults(func=_cmd_crashfuzz)
 
     certify = sub.add_parser(
         "certify", help="serializability acceptance gate (fixed seed matrix)"

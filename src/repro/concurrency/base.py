@@ -71,6 +71,13 @@ class BlockExecutor(ABC):
     the escalation-ladder knobs.  Both default to ``None``, and every hook
     they feed is ``None``-guarded, so an unfaulted run's makespans stay
     bit-identical to a build without the resilience layer.
+
+    ``durability`` is an optional
+    :class:`repro.durability.DurableCommitPipeline`.  When attached,
+    :meth:`commit_block` routes the block's write set through the
+    write-ahead journal (crash-atomic, reorg-capable) instead of bare
+    ``world.apply``; when ``None`` (the default) the commit path is
+    byte-identical to the pre-durability build.
     """
 
     name: str = "base"
@@ -82,6 +89,7 @@ class BlockExecutor(ABC):
         observer=None,
         fault_plan=None,
         recovery=None,
+        durability=None,
     ) -> None:
         self.threads = threads
         self.cost_model = cost_model
@@ -90,6 +98,7 @@ class BlockExecutor(ABC):
         if recovery is None and fault_plan is not None:
             recovery = fault_plan.recovery
         self.recovery = recovery
+        self.durability = durability
 
     @property
     def metrics(self):
@@ -192,6 +201,23 @@ class BlockExecutor(ABC):
             threads=self.threads,
             stats=stats,
         )
+
+    def commit_block(
+        self, world: WorldState, block_number: int, result: BlockResult
+    ) -> float:
+        """Fold a finished block into ``world``, durably when configured.
+
+        With no pipeline attached this is exactly ``world.apply`` (free,
+        as before — the commit cost is already inside the makespan); with
+        one, the write set goes journal-first through
+        :meth:`~repro.durability.commit.DurableCommitPipeline.commit` and
+        the returned simulated microseconds are the durable commit's cost
+        on top of the executor's makespan.
+        """
+        if self.durability is None:
+            world.apply(result.writes)
+            return 0.0
+        return self.durability.commit(world, block_number, result)
 
     @abstractmethod
     def execute_block(

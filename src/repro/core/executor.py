@@ -325,6 +325,7 @@ class ParallelEVMExecutor(BlockExecutor):
         redo_checker=None,
         fault_plan=None,
         recovery=None,
+        durability=None,
     ):
         from ..sim.cost import DEFAULT_COST_MODEL
 
@@ -334,6 +335,7 @@ class ParallelEVMExecutor(BlockExecutor):
             observer=observer,
             fault_plan=fault_plan,
             recovery=recovery,
+            durability=durability,
         )
         self.preexecute = preexecute
         # Optional slice-equivalence oracle (repro.check.replay): called

@@ -77,6 +77,21 @@ def _decode_value(item: rlp.RLPItem):
     raise SerializationError(f"unknown value tag {tag!r}")
 
 
+def encode_value(value) -> rlp.RLPItem:
+    """Encode one python value (int/bytes/str/bool/None/tuple) as RLP.
+
+    The public face of the SSA-log value codec, shared with the durability
+    journal (:mod:`repro.durability`): state keys are tagged tuples and
+    state values are ints or bytes, all inside this codec's domain.
+    """
+    return _encode_value(value)
+
+
+def decode_value(item: rlp.RLPItem):
+    """Inverse of :func:`encode_value`."""
+    return _decode_value(item)
+
+
 def _encode_meta(entry: LogEntry) -> rlp.RLPItem:
     if entry.meta is None:
         return [_T_NONE]

@@ -43,6 +43,10 @@ class MemoryKV:
     def write(self, key: Hashable, value) -> None:
         self._data[key] = value
 
+    def peek(self, key: Hashable, default=None):
+        """Read without latency, cache, or stat effects (already free here)."""
+        return self._data.get(key, default)
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
@@ -122,6 +126,17 @@ class SimulatedDiskKV:
         self._data[key] = value
         if key in self.cache:
             self.cache.put(key, value)
+
+    def peek(self, key: Hashable, default=None):
+        """Read ``key`` with no side effects at all.
+
+        Unlike :meth:`read`, a peek touches neither the block cache nor the
+        read counters and never consults the fault injector — it observes
+        the store without perturbing the simulation.  The durability layer
+        uses it to collect undo preimages without disturbing the cache
+        state (and hence the makespans) of the run being journaled.
+        """
+        return self._data.get(key, default)
 
     def warm(self, keys: Iterable[Hashable]) -> int:
         """Pull ``keys`` into the cache (the prefetching primitive, Table 2).

@@ -1,0 +1,107 @@
+"""World-state checkpoints: periodic snapshots that bound recovery replay.
+
+A snapshot is a full copy of all non-default world state, framed with the
+same length+CRC discipline as journal frames (plus its own magic), so a
+torn snapshot — a crash mid-write — is *detected* rather than trusted:
+recovery validates candidates newest-first and silently falls back to an
+older snapshot (ultimately genesis) when one fails its checksum.
+
+After a snapshot of block N is durable, the journal records a CHECKPT
+marker and prunes every frame of blocks ``<= N``: the journal tail plus
+the newest valid snapshot are always sufficient to rebuild the tip, and
+undo history (hence reorg depth) extends exactly back to that snapshot.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from .. import rlp
+from ..core.serialize import decode_value, encode_value
+from ..errors import JournalCorruptionError
+from ..state.world import WorldState
+
+SNAPSHOT_MAGIC = b"RSNP1\n"
+_HEADER = struct.Struct(">II")
+
+
+def encode_snapshot(world: WorldState, block_number: int) -> bytes:
+    """Serialize the world's full committed state as one framed blob."""
+    items = [
+        [encode_value(key), encode_value(value)]
+        for key, value in sorted(world.db.items())
+    ]
+    payload = rlp.encode(
+        [rlp.uint_to_bytes(block_number), world.fingerprint(), items]
+    )
+    return SNAPSHOT_MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_snapshot(data: bytes) -> tuple[int, bytes, dict]:
+    """Validate and decode one snapshot blob.
+
+    Returns ``(block_number, fingerprint, items)``; raises
+    :class:`JournalCorruptionError` on any framing/CRC/structure failure
+    (recovery treats that as "this snapshot does not exist").
+    """
+    if not data.startswith(SNAPSHOT_MAGIC):
+        raise JournalCorruptionError(0, "bad snapshot magic")
+    body = data[len(SNAPSHOT_MAGIC) :]
+    if len(body) < _HEADER.size:
+        raise JournalCorruptionError(0, "truncated snapshot header")
+    length, crc = _HEADER.unpack_from(body)
+    payload = body[_HEADER.size : _HEADER.size + length]
+    if len(payload) < length:
+        raise JournalCorruptionError(0, "truncated snapshot body")
+    if zlib.crc32(payload) != crc:
+        raise JournalCorruptionError(0, "snapshot CRC mismatch")
+    decoded = rlp.decode(payload)
+    if not isinstance(decoded, list) or len(decoded) != 3:
+        raise JournalCorruptionError(0, "malformed snapshot structure")
+    number = rlp.bytes_to_uint(decoded[0])
+    fingerprint = decoded[1]
+    items = {
+        decode_value(pair[0]): decode_value(pair[1]) for pair in decoded[2]
+    }
+    return number, fingerprint, items
+
+
+def restore_snapshot(items: dict) -> WorldState:
+    """A fresh world holding exactly the snapshot's items (cold cache)."""
+    world = WorldState()
+    for key, value in items.items():
+        world.db.write(key, value)
+    return world
+
+
+def latest_valid_snapshot(
+    medium, metrics=None
+) -> tuple[int, WorldState] | None:
+    """The newest snapshot on the medium that passes validation, restored.
+
+    Torn or corrupt candidates are skipped (counted into
+    ``durability_snapshots_rejected``), newest first, so a crash
+    mid-snapshot can never poison recovery — it only costs replay length.
+    """
+
+    def reject() -> None:
+        if metrics is not None:
+            metrics.counter("durability_snapshots_rejected").inc()
+
+    snapshots = medium.read_snapshots()
+    for block_number in sorted(snapshots, reverse=True):
+        try:
+            number, fingerprint, items = decode_snapshot(snapshots[block_number])
+        except JournalCorruptionError:
+            reject()
+            continue
+        if number != block_number:
+            reject()
+            continue
+        world = restore_snapshot(items)
+        if world.fingerprint() != fingerprint:
+            reject()
+            continue
+        return number, world
+    return None

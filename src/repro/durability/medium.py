@@ -1,0 +1,143 @@
+"""Durable storage media for the write-ahead journal and checkpoints.
+
+A *medium* is the only thing assumed to survive a crash: the executor, the
+in-memory :class:`~repro.state.world.WorldState` and every overlay die with
+the process, while whatever bytes reached the medium before the crash are
+what recovery gets to work with.
+
+Two implementations share one small interface:
+
+- :class:`MemoryMedium` — a bytearray-backed medium for tests and the
+  crash fuzzer, where "the process died" is simulated by discarding every
+  live object except the medium;
+- :class:`FileMedium` — a directory on the real filesystem (``wal.bin``
+  plus ``snapshot-<block>.bin`` files) used by the CLI's ``replay
+  --durable-dir`` / ``recover`` pair.
+
+Neither medium interprets the bytes it holds; framing, checksums and
+torn-tail semantics live in :mod:`repro.durability.journal`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.bin$")
+
+
+class MemoryMedium:
+    """An in-memory medium: the crash fuzzer's simulated disk."""
+
+    def __init__(self) -> None:
+        self._journal = bytearray()
+        self._snapshots: dict[int, bytes] = {}
+
+    # ------------------------------------------------------------- journal
+
+    def append_journal(self, data: bytes) -> None:
+        self._journal.extend(data)
+
+    def read_journal(self) -> bytes:
+        return bytes(self._journal)
+
+    def journal_size(self) -> int:
+        return len(self._journal)
+
+    def truncate_journal(self, length: int) -> None:
+        del self._journal[length:]
+
+    def reset_journal(self, data: bytes) -> None:
+        """Atomically replace the whole journal (pruning)."""
+        self._journal = bytearray(data)
+
+    # ----------------------------------------------------------- snapshots
+
+    def write_snapshot(self, block_number: int, data: bytes) -> None:
+        self._snapshots[block_number] = data
+
+    def read_snapshots(self) -> dict[int, bytes]:
+        return dict(self._snapshots)
+
+    def prune_snapshots(self, keep: int) -> int:
+        """Drop all snapshots except the newest ``keep``; return the count."""
+        doomed = sorted(self._snapshots)[:-keep] if keep else sorted(self._snapshots)
+        for block_number in doomed:
+            del self._snapshots[block_number]
+        return len(doomed)
+
+
+class FileMedium:
+    """A directory-backed medium for real on-disk journals.
+
+    Snapshot writes go through a temp file + ``os.replace`` so a crash
+    mid-snapshot leaves either the old file or nothing — the same
+    atomic-rename discipline LevelDB uses for its MANIFEST.  (The crash
+    *fuzzer* still exercises torn snapshots through :class:`MemoryMedium`,
+    where tears are injected above the medium.)
+    """
+
+    JOURNAL_NAME = "wal.bin"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._journal_path = os.path.join(directory, self.JOURNAL_NAME)
+
+    # ------------------------------------------------------------- journal
+
+    def append_journal(self, data: bytes) -> None:
+        with open(self._journal_path, "ab") as fh:
+            fh.write(data)
+
+    def read_journal(self) -> bytes:
+        try:
+            with open(self._journal_path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return b""
+
+    def journal_size(self) -> int:
+        try:
+            return os.path.getsize(self._journal_path)
+        except OSError:
+            return 0
+
+    def truncate_journal(self, length: int) -> None:
+        with open(self._journal_path, "ab") as fh:
+            fh.truncate(length)
+
+    def reset_journal(self, data: bytes) -> None:
+        tmp = self._journal_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, self._journal_path)
+
+    # ----------------------------------------------------------- snapshots
+
+    def _snapshot_path(self, block_number: int) -> str:
+        return os.path.join(self.directory, f"snapshot-{block_number}.bin")
+
+    def write_snapshot(self, block_number: int, data: bytes) -> None:
+        path = self._snapshot_path(block_number)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    def read_snapshots(self) -> dict[int, bytes]:
+        snapshots: dict[int, bytes] = {}
+        for name in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(name)
+            if match is None:
+                continue
+            with open(os.path.join(self.directory, name), "rb") as fh:
+                snapshots[int(match.group(1))] = fh.read()
+        return snapshots
+
+    def prune_snapshots(self, keep: int) -> int:
+        numbers = sorted(self.read_snapshots())
+        doomed = numbers[:-keep] if keep else numbers
+        for block_number in doomed:
+            os.remove(self._snapshot_path(block_number))
+        return len(doomed)

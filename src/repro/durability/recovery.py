@@ -1,0 +1,279 @@
+"""Crash recovery: latest snapshot + committed-tail replay.
+
+``recover`` rebuilds the world state from nothing but the durable medium
+and a genesis factory:
+
+1. restore the newest *valid* snapshot (torn/corrupt candidates are
+   rejected by CRC and skipped), or genesis when none exists;
+2. scan the journal, truncating a torn tail (and, under the default
+   ``corrupt_tail_policy="truncate"``, a corrupt interior — the degraded
+   result is then exactly the last certified prefix);
+3. replay every *committed* block in order — TXWRITE records in block
+   order, then the SETTLE residual — verifying the COMMIT marker's delta
+   digest before applying and the SEAL record's post-state fingerprint
+   after;
+4. discard an unterminated trailing block (BEGIN without COMMIT) and
+   truncate its frames, so the journal left behind is again a clean
+   prefix of history.
+
+The result is the atomicity guarantee the crash fuzzer certifies: after a
+crash at *any* site, the recovered state is the pre-block or post-block
+state of the interrupted commit — never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import JournalCorruptionError, RecoveryError
+from ..resilience.policy import RecoveryPolicy
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..state.world import WorldState
+from .checkpoint import latest_valid_snapshot
+from .commit import delta_digest
+from .journal import (
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    SealRecord,
+    SettleRecord,
+    TxWriteRecord,
+    UndoRecord,
+    scan_journal,
+)
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class ReplayedBlock:
+    """One fully-journaled block reconstructed from the frames."""
+
+    number: int
+    begin_offset: int
+    tx_count: int
+    pre_root: bytes
+    writes: dict = field(default_factory=dict)
+    undo: dict = field(default_factory=dict)
+    committed: bool = False
+    delta_digest: bytes = b""
+    post_root: bytes | None = None  # from the SEAL record, when present
+
+
+@dataclass(slots=True)
+class RecoveryResult:
+    """Everything ``recover`` learned while rebuilding the world."""
+
+    world: WorldState
+    last_committed_block: int | None
+    blocks_replayed: int
+    snapshot_block: int | None
+    records_scanned: int
+    truncated_bytes: int
+    discarded_blocks: int
+    corrupt_truncated: bool
+    replay_us: float
+
+    def describe(self) -> str:
+        base = (
+            f"recovered to block {self.last_committed_block}"
+            if self.last_committed_block is not None
+            else "recovered to genesis"
+        )
+        parts = [
+            base,
+            f"{self.blocks_replayed} block(s) replayed",
+            f"{self.records_scanned} journal records",
+        ]
+        if self.snapshot_block is not None:
+            parts.append(f"from snapshot @{self.snapshot_block}")
+        if self.truncated_bytes:
+            parts.append(f"{self.truncated_bytes} torn byte(s) truncated")
+        if self.discarded_blocks:
+            parts.append(f"{self.discarded_blocks} unterminated block(s) discarded")
+        if self.corrupt_truncated:
+            parts.append("corrupt interior truncated (degraded to prefix)")
+        return ", ".join(parts)
+
+
+def group_blocks(records) -> tuple[list[ReplayedBlock], int | None]:
+    """Fold a record stream into per-block structures.
+
+    Returns ``(blocks, corrupt_offset)``: ``corrupt_offset`` is the offset
+    of the first record that violates the BEGIN/COMMIT protocol (e.g. a
+    BEGIN inside an open block), or None.  ``records`` is the
+    ``(offset, record)`` frame list from :func:`scan_journal`.
+    """
+    blocks: list[ReplayedBlock] = []
+    open_block: ReplayedBlock | None = None
+
+    def close_committed() -> bool:
+        """Fold a committed (possibly seal-less) open block into the list.
+
+        A committed block without a SEAL is legitimate history: the
+        process died between the marker and the seal, recovery replayed
+        it, and journaling continued behind it.
+        """
+        nonlocal open_block
+        if open_block is not None and open_block.committed:
+            blocks.append(open_block)
+            open_block = None
+        return open_block is None
+
+    for offset, record in records:
+        if isinstance(record, BeginRecord):
+            if not close_committed():
+                return blocks, offset
+            open_block = ReplayedBlock(
+                number=record.block_number,
+                begin_offset=offset,
+                tx_count=record.tx_count,
+                pre_root=record.pre_root,
+            )
+        elif isinstance(record, CheckpointRecord):
+            if not close_committed():
+                return blocks, offset
+        elif open_block is None or record.block_number != open_block.number:
+            return blocks, offset
+        elif isinstance(record, TxWriteRecord):
+            open_block.writes.update(record.writes)
+        elif isinstance(record, SettleRecord):
+            open_block.writes.update(record.writes)
+        elif isinstance(record, UndoRecord):
+            open_block.undo = record.preimages
+        elif isinstance(record, CommitRecord):
+            open_block.committed = True
+            open_block.delta_digest = record.delta_digest
+        elif isinstance(record, SealRecord):
+            if not open_block.committed:
+                return blocks, offset
+            open_block.post_root = record.post_root
+            blocks.append(open_block)
+            open_block = None
+    if open_block is not None:
+        blocks.append(open_block)
+    return blocks, None
+
+
+def recover(
+    medium,
+    genesis_factory,
+    policy: RecoveryPolicy | None = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    metrics=None,
+    verify_roots: bool = True,
+) -> RecoveryResult:
+    """Rebuild the world state from the durable medium.
+
+    ``genesis_factory`` is a zero-argument callable returning a fresh
+    genesis :class:`WorldState` (used when no valid snapshot exists).
+    ``policy.corrupt_tail_policy`` decides whether a corrupt journal
+    interior degrades to the last certified prefix (``"truncate"``, the
+    default) or raises :class:`JournalCorruptionError` (``"raise"``).
+    ``verify_roots`` checks each replayed block's SEAL fingerprint; a
+    mismatch is a :class:`RecoveryError` (the journal lies about state —
+    no prefix can be certified past that point).
+    """
+    policy = policy if policy is not None else RecoveryPolicy()
+
+    snapshot = latest_valid_snapshot(medium, metrics=metrics)
+    if snapshot is not None:
+        snapshot_block, world = snapshot
+    else:
+        snapshot_block, world = None, genesis_factory()
+
+    data = medium.read_journal()
+    scan = scan_journal(data)
+    corrupt_truncated = False
+    truncated = 0
+    if scan.tail_status == "corrupt":
+        if policy.corrupt_tail_policy == "raise":
+            raise JournalCorruptionError(scan.valid_length, scan.detail)
+        corrupt_truncated = True
+        if metrics is not None:
+            metrics.counter("durability_corrupt_truncations").inc()
+    if scan.valid_length < len(data):
+        truncated = len(data) - scan.valid_length
+        medium.truncate_journal(scan.valid_length)
+
+    blocks, protocol_corrupt_offset = group_blocks(scan.frames)
+    if protocol_corrupt_offset is not None:
+        detail = "record sequence violates the BEGIN/COMMIT protocol"
+        if policy.corrupt_tail_policy == "raise":
+            raise JournalCorruptionError(protocol_corrupt_offset, detail)
+        # Drop the violating suffix and recover on the now-shorter journal
+        # (one recursion per violation, strictly shrinking — the retry
+        # also discards any half-journaled block left before the cut).
+        dropped = medium.journal_size() - protocol_corrupt_offset
+        medium.truncate_journal(protocol_corrupt_offset)
+        if metrics is not None:
+            metrics.counter("durability_corrupt_truncations").inc()
+        result = recover(
+            medium,
+            genesis_factory,
+            policy=policy,
+            cost_model=cost_model,
+            metrics=metrics,
+            verify_roots=verify_roots,
+        )
+        result.corrupt_truncated = True
+        result.truncated_bytes += truncated + max(dropped, 0)
+        return result
+
+    replay_us = 0.0
+    blocks_replayed = 0
+    discarded = 0
+    last_committed = snapshot_block
+    for block in blocks:
+        if not block.committed:
+            # The unterminated tail block: discard it and truncate its
+            # frames so the journal ends on the last committed state.
+            discarded += 1
+            journal_len = medium.journal_size()
+            if block.begin_offset < journal_len:
+                truncated += journal_len - block.begin_offset
+                medium.truncate_journal(block.begin_offset)
+            continue
+        if snapshot_block is not None and block.number <= snapshot_block:
+            # Already folded into the snapshot; frames survive only when
+            # the crash hit between snapshot write and journal pruning.
+            continue
+        if verify_roots and delta_digest(block.pre_root, block.writes) != block.delta_digest:
+            raise RecoveryError(
+                f"block {block.number}: replayed delta does not match the "
+                f"COMMIT marker's digest"
+            )
+        world.apply(block.writes)
+        replay_us += (
+            len(block.writes) * cost_model.commit_key_us
+            + cost_model.fsync_us
+        )
+        if verify_roots and block.post_root is not None:
+            if world.fingerprint() != block.post_root:
+                raise RecoveryError(
+                    f"block {block.number}: post-replay state fingerprint "
+                    f"does not match the sealed root"
+                )
+        blocks_replayed += 1
+        last_committed = block.number
+
+    result = RecoveryResult(
+        world=world,
+        last_committed_block=last_committed,
+        blocks_replayed=blocks_replayed,
+        snapshot_block=snapshot_block,
+        records_scanned=len(scan.frames),
+        truncated_bytes=truncated,
+        discarded_blocks=discarded,
+        corrupt_truncated=corrupt_truncated,
+        replay_us=replay_us,
+    )
+    if metrics is not None:
+        metrics.counter("durability_recoveries").inc()
+        metrics.counter("durability_recovered_blocks").inc(blocks_replayed)
+        metrics.counter("durability_recovery_us").inc(replay_us)
+        if truncated:
+            metrics.counter("durability_truncated_bytes").inc(truncated)
+        if discarded:
+            metrics.counter("durability_discarded_blocks").inc(discarded)
+    return result

@@ -113,6 +113,59 @@ class TransientStorageError(ResilienceError):
         self.attempts = attempts
 
 
+class DurabilityError(ResilienceError):
+    """Base class for crash-consistency failures (:mod:`repro.durability`).
+
+    Durable faults — torn journals, unrecoverable snapshots, reorgs past
+    the pruning horizon — sit on the resilience hierarchy so the same
+    escalation machinery that absorbs transient faults can route them:
+    a corrupt journal tail degrades to the last certified prefix under
+    :attr:`RecoveryPolicy.corrupt_tail_policy` instead of killing the run.
+    """
+
+
+class JournalCorruptionError(DurabilityError):
+    """The write-ahead journal failed a frame CRC or structural check.
+
+    Torn *tails* (a crash mid-append) are not corruption — they are
+    truncated silently during recovery.  This error means bytes **before**
+    the tail fail validation: a flipped bit, a mangled frame header, or
+    records that violate the BEGIN/COMMIT protocol mid-journal.
+    """
+
+    def __init__(self, offset: int, detail: str) -> None:
+        super().__init__(f"journal corrupt at byte {offset}: {detail}")
+        self.offset = offset
+        self.detail = detail
+
+
+class RecoveryError(DurabilityError):
+    """Recovery replay produced a state that contradicts the journal.
+
+    Raised when a replayed block's post-state fingerprint differs from the
+    one sealed in the journal — the journal is internally consistent but
+    does not describe the state it claims, so no prefix can be certified.
+    """
+
+
+class ReorgDepthExceeded(DurabilityError):
+    """A chain reorganization reached past the undo horizon.
+
+    The journaled undo preimages only cover blocks since the last
+    checkpoint (journal pruning discards older history); rolling back
+    beyond that — or past :attr:`RecoveryPolicy.max_reorg_depth` — cannot
+    be done in place and must be escalated to a state re-sync.
+    """
+
+    def __init__(self, requested: int, available: int) -> None:
+        super().__init__(
+            f"reorg needs to roll back {requested} block(s) but undo "
+            f"history covers only {available}; past the last checkpoint"
+        )
+        self.requested = requested
+        self.available = available
+
+
 class RedoBudgetExceeded(ResilienceError):
     """A transaction used up its per-transaction redo-attempt budget.
 

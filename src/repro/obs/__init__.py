@@ -40,6 +40,7 @@ from .report import (
     commit_point_stall_us,
     conflict_heatmap_table,
     degradation_table,
+    durability_table,
     phase_breakdown_table,
     redo_slice_table,
     render_block_report,
@@ -80,6 +81,7 @@ __all__ = [
     "critical_path",
     "critical_path_table",
     "degradation_table",
+    "durability_table",
     "phase_breakdown_table",
     "redo_slice_table",
     "render_block_report",

@@ -193,6 +193,61 @@ def degradation_table(metrics: MetricsRegistry) -> str | None:
     )
 
 
+# Display order + human labels for the durability summary (same contract
+# as _DEGRADATION_LABELS: unknown durability_* counters render after the
+# known rows under their raw names).
+_DURABILITY_LABELS = (
+    ("durability_blocks_committed", "blocks committed durably"),
+    ("durability_journal_records", "journal records written"),
+    ("durability_journal_bytes", "journal bytes written"),
+    ("durability_fsyncs", "fsyncs (simulated)"),
+    ("durability_commit_us", "durable commit time (us)"),
+    ("durability_checkpoints", "checkpoints taken"),
+    ("durability_pruned_bytes", "journal bytes pruned"),
+    ("durability_recoveries", "recoveries run"),
+    ("durability_recovered_blocks", "blocks replayed in recovery"),
+    ("durability_recovery_us", "recovery replay time (us)"),
+    ("durability_truncated_bytes", "torn/corrupt bytes truncated"),
+    ("durability_corrupt_truncations", "corrupt interiors truncated"),
+    ("durability_discarded_blocks", "unterminated blocks discarded"),
+    ("durability_snapshots_rejected", "snapshots rejected"),
+    ("durability_reorgs", "reorgs executed"),
+    ("durability_reorg_blocks", "blocks rolled back in reorgs"),
+)
+
+
+def durability_table(metrics: MetricsRegistry) -> str | None:
+    """Summary of the durable commit path (``durability_*`` series).
+
+    One row per non-zero counter.  Returns None when no durability
+    counters exist — i.e. no commit pipeline or recovery ran against this
+    registry — so reports stay untouched when journaling is off (the
+    default everywhere, including every benchmark).
+    """
+    names = sorted(
+        {name for name, _key, _metric in metrics.series()
+         if name.startswith("durability_")}
+    )
+    if not names:
+        return None
+    known = [name for name, _label in _DURABILITY_LABELS]
+    labels = dict(_DURABILITY_LABELS)
+    ordered = [name for name in known if name in names]
+    ordered += [name for name in names if name not in labels]
+    rows = []
+    for name in ordered:
+        total = metrics.sum_by_name(name)
+        if total:
+            rows.append([labels.get(name, name), f"{total:g}"])
+    if not rows:
+        rows.append(["blocks committed durably", "0"])
+    return render_table(
+        "Durability summary (journal, checkpoints & recovery)",
+        ["event", "count"],
+        rows,
+    )
+
+
 def certification_table(metrics: MetricsRegistry) -> str | None:
     """Summary of a ``repro.check`` certification run (``certify_*`` series).
 
@@ -301,4 +356,7 @@ def render_block_report(
     degradation = degradation_table(observer.metrics)
     if degradation is not None:
         parts.append(degradation)
+    durability = durability_table(observer.metrics)
+    if durability is not None:
+        parts.append(durability)
     return "\n\n".join(parts)

@@ -52,6 +52,15 @@ class RecoveryPolicy:
     abort_storm_factor: float = 6.0  # aborts per transaction tolerated
     abort_storm_floor: int = 24  # minimum absolute abort threshold
 
+    # --- durability (crash recovery & chain reorgs) -----------------------
+    # A corrupt journal interior (a torn *tail* is always truncated) either
+    # degrades to the last certified prefix ("truncate") or halts recovery
+    # with a typed JournalCorruptionError ("raise").
+    corrupt_tail_policy: str = "truncate"
+    # Reorgs deeper than this (or past the pruning horizon) raise
+    # ReorgDepthExceeded instead of attempting an in-place rollback.
+    max_reorg_depth: int = 64
+
     def backoff_us(self, attempt: int) -> float:
         """Simulated wait before retry ``attempt`` (0-based), capped.
 

@@ -27,12 +27,20 @@ class ChaosScenario:
     :class:`RecoveryPolicy` via :func:`dataclasses.replace` — e.g. the
     abort-storm scenario lowers the storm threshold so detection (and the
     serial-fallback guarantee behind it) actually fires on small blocks.
+
+    ``kind`` selects the harness: ``"faults"`` (the default) certifies
+    under runtime fault injection; ``"crash"`` sweeps the durable commit
+    path's crash sites (:func:`repro.check.crashfuzz.crash_sweep_block`);
+    ``"reorg"`` runs the undo-preimage rollback round trip.  The non-fault
+    kinds carry an empty :class:`FaultConfig` — their adversary is process
+    death, not degraded hardware.
     """
 
     name: str
     description: str
     config: FaultConfig
     recovery_overrides: dict = field(default_factory=dict)
+    kind: str = "faults"
 
 
 SCENARIOS: dict[str, ChaosScenario] = {
@@ -95,6 +103,21 @@ SCENARIOS: dict[str, ChaosScenario] = {
                 "abort_storm_factor": 2.0,
                 "abort_storm_floor": 8,
             },
+        ),
+        ChaosScenario(
+            "crash-commit",
+            "process death at every crash site of the durable commit "
+            "path; recovery must land on exactly the pre- or post-block "
+            "state",
+            FaultConfig(),
+            kind="crash",
+        ),
+        ChaosScenario(
+            "reorg-rollback",
+            "a depth-2 chain reorg: undo-preimage rollback plus fork "
+            "re-execution must reproduce the serial reference",
+            FaultConfig(),
+            kind="reorg",
         ),
         ChaosScenario(
             "havoc",

@@ -60,6 +60,12 @@ class CostModel:
     log_entry_us: float = 0.15  # materialising one SSA log entry
     redo_entry_us: float = 0.90  # re-executing one log entry in the redo phase
 
+    # --- durability (write-ahead journal; attached only when a
+    # DurableCommitPipeline is in use, so benchmark paths never pay these) --
+    journal_byte_us: float = 0.004  # streaming one byte into the WAL buffer
+    fsync_us: float = 110.0  # one fsync'd journal flush (NVMe-class)
+    snapshot_key_us: float = 0.8  # serializing one key into a checkpoint
+
     # --- 2PL -------------------------------------------------------------
     lock_acquire_us: float = 0.5  # per-acquisition work on the owning thread
     # The lock table is a single shared structure: every acquisition also

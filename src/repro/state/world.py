@@ -54,6 +54,15 @@ class WorldState:
             meter.charge_storage(sample.latency_us, cold=not sample.cache_hit)
         return sample.value
 
+    def peek(self, key: StateKey):
+        """Read committed state with zero simulation side effects.
+
+        Bypasses the latency model, the block cache and the read counters —
+        used by the durability layer to capture undo preimages for the
+        write-ahead journal without perturbing cache warmth or makespans.
+        """
+        return self.db.peek(key, default_value(key))
+
     def get_balance(self, address: bytes, meter=None) -> int:
         return self.read(balance_key(address), meter)
 

@@ -1,0 +1,136 @@
+"""Property tests: arbitrary journal damage never yields a wrong state.
+
+The contract under test (ISSUE 5, satellite c): seed-driven byte flips and
+truncations of the write-ahead journal must lead recovery to either
+
+- a state fingerprint from the *certified prefix* — genesis or some
+  committed block's post-state, exactly as a prefix replay produces — or
+- a typed :class:`JournalCorruptionError` under the ``"raise"`` policy,
+
+and never to a root that differs from every certified prefix state.  CRC32
+catches all single-byte damage, so under the default ``"truncate"`` policy
+recovery must *never* raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings, strategies as st
+
+from repro.durability import DurableCommitPipeline, MemoryMedium, recover
+from repro.errors import JournalCorruptionError
+from repro.primitives import make_address
+from repro.resilience.policy import RecoveryPolicy
+from repro.state.keys import balance_key, storage_key
+from repro.state.world import WorldState
+
+
+@dataclass
+class FakeTx:
+    tx_index: int
+
+
+@dataclass
+class FakeTxResult:
+    tx: FakeTx
+    write_set: dict
+
+
+@dataclass
+class FakeBlockResult:
+    writes: dict
+    tx_results: list = field(default_factory=list)
+
+
+def _result(*tx_writes: dict) -> FakeBlockResult:
+    merged: dict = {}
+    tx_results = []
+    for index, writes in enumerate(tx_writes):
+        merged.update(writes)
+        tx_results.append(FakeTxResult(FakeTx(index), dict(writes)))
+    return FakeBlockResult(merged, tx_results)
+
+
+def _keys(i: int):
+    return balance_key(make_address(30_000 + i)), storage_key(make_address(77), i)
+
+
+def build_journal(checkpoint_interval: int = 0):
+    """Three committed blocks on a fresh medium.
+
+    Returns ``(medium, certified)`` where ``certified`` is the set of
+    fingerprints recovery is allowed to land on (genesis plus each
+    committed block's post-state).
+    """
+    medium = MemoryMedium()
+    pipeline = DurableCommitPipeline(medium, checkpoint_interval=checkpoint_interval)
+    world = WorldState()
+    certified = {world.fingerprint()}
+    for number in (1, 2, 3):
+        b, s = _keys(number)
+        b2, _ = _keys(number + 10)
+        result = _result({b: 100 * number, s: number}, {b2: 7 * number})
+        pipeline.commit(world, number, result)
+        certified.add(world.fingerprint())
+    return medium, certified
+
+
+FLIPS = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # position (mod journal size)
+    st.integers(min_value=1, max_value=255),  # xor mask (never a no-op)
+)
+
+
+class TestByteFlips:
+    @settings(max_examples=150, deadline=None)
+    @given(flip=FLIPS, checkpointed=st.booleans())
+    def test_truncate_policy_lands_on_a_certified_prefix(self, flip, checkpointed):
+        medium, certified = build_journal(2 if checkpointed else 0)
+        raw = bytearray(medium.read_journal())
+        position, mask = flip
+        raw[position % len(raw)] ^= mask
+        medium.reset_journal(bytes(raw))
+
+        result = recover(medium, WorldState)  # must not raise
+        assert result.world.fingerprint() in certified
+        # Recovery repairs the journal in place: a second pass is clean
+        # and deterministic.
+        again = recover(medium, WorldState)
+        assert again.world.fingerprint() == result.world.fingerprint()
+        assert again.truncated_bytes == 0
+        assert not again.corrupt_truncated
+
+    @settings(max_examples=150, deadline=None)
+    @given(flip=FLIPS)
+    def test_raise_policy_raises_or_lands_on_a_certified_prefix(self, flip):
+        medium, certified = build_journal()
+        raw = bytearray(medium.read_journal())
+        position, mask = flip
+        raw[position % len(raw)] ^= mask
+        medium.reset_journal(bytes(raw))
+
+        try:
+            result = recover(
+                medium,
+                WorldState,
+                policy=RecoveryPolicy(corrupt_tail_policy="raise"),
+            )
+        except JournalCorruptionError:
+            return  # the typed error is the other legal outcome
+        assert result.world.fingerprint() in certified
+
+
+class TestTruncations:
+    @settings(max_examples=150, deadline=None)
+    @given(length=st.integers(min_value=0, max_value=10_000), checkpointed=st.booleans())
+    def test_any_truncation_lands_on_a_certified_prefix(self, length, checkpointed):
+        medium, certified = build_journal(2 if checkpointed else 0)
+        size = medium.journal_size()
+        medium.truncate_journal(length % (size + 1))
+
+        result = recover(medium, WorldState)  # truncation is never fatal
+        assert result.world.fingerprint() in certified
+        again = recover(medium, WorldState)
+        assert again.world.fingerprint() == result.world.fingerprint()
+        assert again.truncated_bytes == 0

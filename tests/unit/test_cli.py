@@ -57,6 +57,27 @@ class TestParser:
         assert args.blocks == 50
         assert not args.self_test
 
+    def test_replay_durability_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.durable_dir is None
+        assert args.checkpoint_interval == 0
+
+    def test_recover_requires_a_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+        args = build_parser().parse_args(["recover", "--dir", "wal"])
+        assert args.dir == "wal"
+        assert args.accounts == 120
+        assert not args.strict
+
+    def test_crashfuzz_defaults(self):
+        args = build_parser().parse_args(["crashfuzz"])
+        assert args.seed == 0
+        assert args.blocks == 2
+        assert args.checkpoint_interval == 1
+        assert not args.no_reorg
+        assert args.dump is None
+
 
 class TestCommands:
     def test_compare_small(self, capsys):
@@ -143,3 +164,57 @@ class TestCommands:
         main(argv)
         second = capsys.readouterr().out
         assert first == second
+
+    def test_replay_durable_then_recover(self, capsys, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        assert (
+            main(
+                [
+                    "replay",
+                    "--count",
+                    "2",
+                    "--txs",
+                    "8",
+                    "--accounts",
+                    "40",
+                    "--durable-dir",
+                    wal_dir,
+                    "--checkpoint-interval",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "durable commit" in out
+        assert "journal:" in out
+
+        assert main(["recover", "--dir", wal_dir, "--accounts", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered to block" in out
+        assert "state fingerprint" in out
+
+    def test_recover_empty_directory_is_genesis(self, capsys, tmp_path):
+        assert (
+            main(["recover", "--dir", str(tmp_path / "empty"), "--accounts", "40"])
+            == 0
+        )
+        assert "recovered to genesis" in capsys.readouterr().out
+
+    def test_crashfuzz_small(self, capsys):
+        argv = [
+            "crashfuzz",
+            "--seed",
+            "0",
+            "--blocks",
+            "1",
+            "--txs",
+            "6",
+            "--threads",
+            "4",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "atomic at every site" in out
+        assert "reorg round trip" in out
+        assert "Durability summary" in out

@@ -290,8 +290,15 @@ class TestScenarioCatalogue:
     def test_catalogue_is_well_formed(self):
         suite = default_suite()
         assert len(suite) == len(SCENARIOS) >= 8
+        kinds = {scenario.kind for scenario in suite}
+        assert {"faults", "crash", "reorg"} <= kinds
         for scenario in suite:
-            assert scenario.config.any_enabled(), scenario.name
+            if scenario.kind == "faults":
+                assert scenario.config.any_enabled(), scenario.name
+            else:
+                # Durability scenarios inject process death / reorgs in the
+                # commit pipeline, never through the fault injector.
+                assert not scenario.config.any_enabled(), scenario.name
             assert scenario.description
             # Overrides must name real RecoveryPolicy fields.
             for field_name in scenario.recovery_overrides:
