@@ -13,6 +13,7 @@ chaos        certify blocks with every executor under fault injection
 certify      the serializability acceptance gate (fixed seed matrix)
 crashfuzz    certify commit atomicity at every crash site, plus reorgs
 recover      rebuild world state from an on-disk journal + snapshots
+soak         run the long-lived chain service, stream windowed telemetry
 
 Every command is deterministic: the same arguments print the same numbers.
 """
@@ -496,6 +497,55 @@ def _cmd_crashfuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .service import SoakConfig, run_soak
+    from .obs import format_window_line
+
+    config = SoakConfig(
+        blocks=args.blocks,
+        window_blocks=args.window,
+        executor=args.executor,
+        threads=args.threads,
+        accounts=args.accounts,
+        txs_per_block=args.txs,
+        seed=args.seed,
+        cache_capacity=args.cache_capacity,
+        hot_recipient_share=args.hot_share,
+        hot_drift_per_1k=args.hot_drift,
+        scenario=args.scenario,
+        durable_dir=args.durable_dir,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+
+    def progress(snapshot: dict) -> None:
+        if not args.quiet:
+            print(format_window_line(snapshot), flush=True)
+
+    try:
+        report = run_soak(config, out=args.out, progress=progress)
+    except ValueError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print()
+    print(report.describe())
+    if args.out:
+        print(f"\nsnapshots: {report.snapshots} windows -> {args.out}")
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report -> {args.report_json}")
+    if not report.cache_bounded:
+        print(
+            "soak: state cache exceeded its configured capacity "
+            f"(peak {report.summary['cache']['peak_entries']} > "
+            f"{report.summary['cache']['capacity']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from .check import (
         MUTATIONS,
@@ -724,6 +774,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
     )
     crashfuzz.set_defaults(func=_cmd_crashfuzz)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the long-lived chain service over a seeded block stream, "
+        "streaming windowed latency/throughput/memory telemetry as JSONL",
+    )
+    soak.add_argument("--blocks", type=int, default=200, help="blocks to ingest")
+    soak.add_argument(
+        "--window", type=int, default=20,
+        help="blocks per telemetry window (one JSONL line each)",
+    )
+    soak.add_argument(
+        "--executor", choices=sorted(RUN_EXECUTORS), default="parallelevm"
+    )
+    soak.add_argument("--threads", type=int, default=8)
+    soak.add_argument(
+        "--accounts", type=int, default=20_000, help="account universe size"
+    )
+    soak.add_argument("--txs", type=int, default=40, help="transactions per block")
+    soak.add_argument("--seed", type=int, default=1)
+    soak.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=100_000,
+        help="state block-cache capacity in entries (the memory bound the "
+        "run is gated on)",
+    )
+    soak.add_argument(
+        "--hot-share",
+        type=float,
+        default=0.25,
+        help="share of transfers aimed at the hot recipients (conflict rate)",
+    )
+    soak.add_argument(
+        "--hot-drift",
+        type=float,
+        default=0.0,
+        help="hot-share drift per 1000 blocks (conflict trajectory)",
+    )
+    soak.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="inject a repro.resilience chaos scenario every block",
+    )
+    soak.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        help="commit every block through the write-ahead journal in DIR",
+    )
+    soak.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="snapshot + prune the journal every N blocks (0 disables)",
+    )
+    soak.add_argument(
+        "--out", metavar="FILE", help="write one JSONL snapshot line per window"
+    )
+    soak.add_argument(
+        "--report-json", metavar="FILE", help="write the end-of-run report as JSON"
+    )
+    soak.add_argument(
+        "--quiet", action="store_true", help="suppress the live per-window lines"
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     certify = sub.add_parser(
         "certify", help="serializability acceptance gate (fixed seed matrix)"

@@ -20,6 +20,11 @@ class LRUCache:
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Memory accounting for long-running (soak) use: how often capacity
+        # pressure pushed an entry out, and the highest occupancy ever
+        # reached — together the proof that the cache stayed bounded.
+        self.evictions = 0
+        self.peak_entries = 0
 
     def get(self, key: Hashable, default=None):
         """Look up ``key``, refreshing its recency on a hit."""
@@ -46,6 +51,9 @@ class LRUCache:
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+        if len(self._entries) > self.peak_entries:
+            self.peak_entries = len(self._entries)
 
     def drop(self, key: Hashable) -> bool:
         """Evict one entry if present; returns whether it was cached.
@@ -66,6 +74,8 @@ class LRUCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.peak_entries = len(self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +93,8 @@ class LRUCache:
             "hit_rate": self.hit_rate,
             "entries": len(self._entries),
             "capacity": self.capacity,
+            "evictions": self.evictions,
+            "peak_entries": self.peak_entries,
         }
 
     def publish(self, metrics, name: str = "block_cache") -> None:

@@ -35,6 +35,11 @@ from .critical_path import (
     critical_path_table,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .streaming import (
+    LogHistogram,
+    SoakTelemetry,
+    format_window_line,
+)
 from .report import (
     certification_table,
     commit_point_stall_us,
@@ -66,9 +71,11 @@ __all__ = [
     "DependencyEdge",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "Observer",
     "SlotAttribution",
+    "SoakTelemetry",
     "Span",
     "TraceRecorder",
     "attribution_table",
@@ -81,6 +88,7 @@ __all__ = [
     "critical_path",
     "critical_path_table",
     "degradation_table",
+    "format_window_line",
     "durability_table",
     "phase_breakdown_table",
     "redo_slice_table",

@@ -97,13 +97,24 @@ class Histogram:
         self.count += 1
         self.sum += value
 
+    def bucket_bounds(self) -> list[list]:
+        # Explicit [lower, upper) boundaries for every exported count, with
+        # "-inf"/"+inf" string sentinels at the open ends.  A value equal
+        # to an edge lands in the bucket whose *lower* bound it is
+        # (``bisect_right`` semantics), matching ``observe``.
+        edges: list = ["-inf"] + list(self.buckets) + ["+inf"]
+        return [[edges[i], edges[i + 1]] for i in range(len(edges) - 1)]
+
     def as_value(self) -> dict:
         # The overflow bucket is exported with an explicit "+inf" upper
         # edge so buckets and counts pair one-to-one: consumers that zip
         # them can no longer silently drop everything above the last
         # finite edge (multi-ms cold-read spans used to vanish this way).
+        # ``bounds`` pairs each count with its full [lower, upper) range so
+        # JSONL consumers can recompute quantiles without importing repro.
         return {
             "buckets": list(self.buckets) + ["+inf"],
+            "bounds": self.bucket_bounds(),
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.sum,
@@ -115,6 +126,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._series: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+        # Per-series baseline of the previous window_snapshot() call.
+        self._window_base: dict[tuple[str, LabelKey], object] = {}
 
     # ------------------------------------------------------------ creation
 
@@ -170,6 +183,55 @@ class MetricsRegistry:
             for (series_name, key), metric in self._series.items()
             if series_name == name
         }
+
+    def kinds(self) -> dict[str, str]:
+        """``series-name -> "counter" | "gauge" | "histogram"`` for every
+        series, letting snapshot consumers filter by metric semantics."""
+        return {
+            _series_name(name, key): type(metric).__name__.lower()
+            for name, key, metric in self.series()
+        }
+
+    def window_snapshot(self) -> dict:
+        """A delta-since-last-snapshot view of every series.
+
+        Counters report the increase since the previous call (the first
+        call reports their full value); histograms likewise report delta
+        counts/count/sum alongside their (constant) bucket boundaries;
+        gauges report their current value — a delta of a point-in-time
+        reading means nothing.  Keys and ordering match :meth:`as_dict`,
+        so windowed rates need no caller-side diffing of cumulative
+        counters.  Calling this advances the window baseline.
+        """
+        snapshot: dict = {}
+        for name, key, metric in self.series():
+            series = _series_name(name, key)
+            if isinstance(metric, Counter):
+                base = self._window_base.get((name, key), 0)
+                snapshot[series] = metric.value - base
+                self._window_base[(name, key)] = metric.value
+            elif isinstance(metric, Histogram):
+                base_counts, base_count, base_sum = self._window_base.get(
+                    (name, key), ([0] * len(metric.counts), 0, 0.0)
+                )
+                snapshot[series] = {
+                    "buckets": list(metric.buckets) + ["+inf"],
+                    "bounds": metric.bucket_bounds(),
+                    "counts": [
+                        now - before
+                        for now, before in zip(metric.counts, base_counts)
+                    ],
+                    "count": metric.count - base_count,
+                    "sum": metric.sum - base_sum,
+                }
+                self._window_base[(name, key)] = (
+                    list(metric.counts),
+                    metric.count,
+                    metric.sum,
+                )
+            else:
+                snapshot[series] = metric.value
+        return snapshot
 
     # ------------------------------------------------------------- export
 

@@ -1,0 +1,33 @@
+"""The long-running chain service and its soak harness.
+
+Everything else in this repository runs one block at a time; this package
+grows that into a *service*: a :class:`ChainService` owns one live world
+state and ingests a continuous, seeded stream of synthesized blocks
+(:mod:`repro.workloads.stream`) through any executor config, committing
+via the existing :meth:`BlockExecutor.commit_block` pipeline — optionally
+durable, optionally under fault injection — while streaming telemetry
+(:mod:`repro.obs.streaming`) reports sustained tx/s, per-tx and per-block
+latency percentiles, and bounded state-cache memory, one JSONL snapshot
+per window.
+
+Entry points::
+
+    from repro.service import SoakConfig, run_soak
+
+    report = run_soak(SoakConfig(blocks=1000, accounts=100_000),
+                      out="soak.jsonl")
+    print(report.describe())
+
+or ``python -m repro soak`` from the CLI.
+"""
+
+from .chain_service import ChainService, SoakObserver
+from .soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "ChainService",
+    "SoakConfig",
+    "SoakObserver",
+    "SoakReport",
+    "run_soak",
+]

@@ -1,0 +1,139 @@
+"""The chain service: one live world, a block stream, an executor.
+
+Unlike the experiment harnesses — which clone a fresh cold world per run —
+the service owns a single long-lived :class:`WorldState` and folds every
+committed block into it, the way a real node does: the block cache stays
+warm across blocks, the account universe grows as the stream touches it,
+and the durability pipeline (when attached) journals every commit.  The
+service clock is *simulated*: each block advances it by the executor's
+makespan plus the durable-commit cost, so sustained tx/s is a property of
+the modelled hardware, not of the Python interpreter running the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..concurrency.base import BlockExecutor
+from ..workloads.stream import BlockStream
+
+
+class SoakObserver:
+    """A bounded-memory observer for long runs.
+
+    :class:`~repro.obs.trace.BlockObserver` retains every span — perfect
+    for one block, unbounded over thousands.  This observer keeps only a
+    per-transaction completion time for the block in flight (its latency
+    within the block schedule) plus the shared metrics registry the
+    executors publish their counters into.  It deliberately exposes no
+    ``on_edge``/``on_counter``: schedulers then skip dependency-edge
+    bookkeeping entirely, exactly as on the unobserved path.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+        self._tx_end: dict[int, float] = {}
+
+    def on_span(self, worker_id: int, task, start_us: float, end_us: float) -> None:
+        tx_index = getattr(task, "tx_index", None)
+        if tx_index is None:
+            return
+        previous = self._tx_end.get(tx_index)
+        if previous is None or end_us > previous:
+            self._tx_end[tx_index] = end_us
+
+    def begin_block(self) -> None:
+        self._tx_end.clear()
+
+    def tx_latencies_us(self) -> list[float]:
+        """Completion time of every transaction, in tx order.
+
+        A transaction's latency is the simulated time from block start to
+        the end of its last scheduled task (execution, validation, redo or
+        commit tail) — the service-level "when was this tx done".
+        """
+        return [end for _, end in sorted(self._tx_end.items())]
+
+
+@dataclass(slots=True)
+class BlockOutcome:
+    """What one service step produced (telemetry inputs, not state)."""
+
+    number: int
+    tx_count: int
+    gas_used: int
+    makespan_us: float
+    commit_us: float
+    tx_latencies_us: list[float] = field(default_factory=list)
+
+    @property
+    def latency_us(self) -> float:
+        """The block's end-to-end simulated service time."""
+        return self.makespan_us + self.commit_us
+
+
+class ChainService:
+    """Ingests a block stream into one live world through one executor.
+
+    ``fault_plan_factory`` (optional) is called with the block number
+    before each execution and the returned
+    :class:`~repro.resilience.FaultPlan` installed on the executor — a
+    fresh plan per block, so injection streams are deterministic per
+    (seed, height) and the per-block counters published into the shared
+    registry are deltas, exactly like the chaos harness does it.
+    """
+
+    def __init__(
+        self,
+        stream: BlockStream,
+        executor: BlockExecutor,
+        observer: SoakObserver | None = None,
+        fault_plan_factory=None,
+    ) -> None:
+        self.stream = stream
+        self.chain = stream.chain
+        self.world = stream.chain.world
+        self.executor = executor
+        self.observer = observer
+        self.fault_plan_factory = fault_plan_factory
+        self.height = self.stream.spec.start_block
+        self.sim_time_us = 0.0
+        self.blocks_committed = 0
+        self.txs_committed = 0
+        self.gas_used = 0
+
+    def run_block(self) -> BlockOutcome:
+        """Generate, execute and commit the next block of the stream."""
+        number = self.height
+        block = self.stream.block(number)
+        observer = self.observer
+        if observer is not None:
+            observer.begin_block()
+        executor = self.executor
+        if self.fault_plan_factory is not None:
+            plan = self.fault_plan_factory(number)
+            executor.fault_plan = plan
+            executor.recovery = plan.recovery if plan is not None else None
+        result = executor.execute_block(self.world, block.txs, block.env)
+        commit_us = executor.commit_block(self.world, number, result)
+        outcome = BlockOutcome(
+            number=number,
+            tx_count=len(result.tx_results),
+            gas_used=result.gas_used,
+            makespan_us=result.makespan_us,
+            commit_us=commit_us,
+            tx_latencies_us=(
+                observer.tx_latencies_us() if observer is not None else []
+            ),
+        )
+        self.height += 1
+        self.sim_time_us += outcome.latency_us
+        self.blocks_committed += 1
+        self.txs_committed += outcome.tx_count
+        self.gas_used += outcome.gas_used
+        return outcome
+
+    def run(self, blocks: int):
+        """Yield one :class:`BlockOutcome` per ingested block."""
+        for _ in range(blocks):
+            yield self.run_block()

@@ -1,0 +1,242 @@
+"""The soak harness: a configured long run of the chain service.
+
+``run_soak`` wires the pieces together — stream chain, executor config,
+telemetry, optional durability and fault injection — runs the configured
+number of blocks, writes one JSONL snapshot line per telemetry window,
+and returns a :class:`SoakReport`.  The whole run is deterministic: the
+same :class:`SoakConfig` produces a byte-identical snapshot stream (the
+soak determinism test enforces exactly that), because every input is
+seeded and every reported number is simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..bench.suite import EXECUTOR_FACTORIES
+from ..obs.metrics import MetricsRegistry
+from ..obs.streaming import SoakTelemetry
+from ..workloads.stream import BlockStream, StreamSpec, build_stream_chain
+from .chain_service import ChainService, SoakObserver
+
+
+@dataclass(slots=True)
+class SoakConfig:
+    """Everything a soak run depends on (and nothing wall-clock)."""
+
+    blocks: int = 200
+    window_blocks: int = 20
+    executor: str = "parallelevm"
+    threads: int = 8
+    accounts: int = 20_000
+    txs_per_block: int = 40
+    seed: int = 1
+    cache_capacity: int = 100_000
+    hot_recipient_share: float = 0.25
+    hot_drift_per_1k: float = 0.0
+    scenario: str | None = None  # a repro.resilience chaos scenario name
+    durable_dir: str | None = None
+    checkpoint_interval: int = 0
+    # A fully-specified stream overrides the scalar workload knobs above.
+    stream_spec: StreamSpec | None = None
+
+    def spec(self) -> StreamSpec:
+        if self.stream_spec is not None:
+            return self.stream_spec
+        return StreamSpec(
+            accounts=self.accounts,
+            txs_per_block=self.txs_per_block,
+            hot_recipient_share=self.hot_recipient_share,
+            hot_drift_per_1k=self.hot_drift_per_1k,
+            seed=self.seed,
+        )
+
+
+@dataclass(slots=True)
+class SoakReport:
+    """The end-of-run summary (valid — zeros and nulls — for zero blocks)."""
+
+    executor: str
+    threads: int
+    blocks: int
+    accounts: int
+    seed: int
+    summary: dict
+    snapshots: int
+    cache_bounded: bool
+    counters: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def describe(self) -> str:
+        throughput = self.summary["throughput"]
+        tx = self.summary["latency_tx_us"]
+        block = self.summary["latency_block_us"]
+
+        def _q(stats: dict, name: str) -> str:
+            value = stats[name]
+            return "-" if value is None else f"{value:.0f}"
+
+        lines = [
+            f"soak: {self.executor} x{self.threads} · {self.blocks} blocks · "
+            f"{self.accounts} accounts · seed {self.seed}",
+            f"  throughput  {throughput['tx_per_s']:.1f} tx/s · "
+            f"{throughput['gas_per_s']:.0f} gas/s · "
+            f"{throughput['sim_time_us'] / 1e6:.2f} s simulated",
+            f"  tx latency  p50/p90/p99 {_q(tx, 'p50')}/{_q(tx, 'p90')}/"
+            f"{_q(tx, 'p99')} us (max {_q(tx, 'max')}, n={tx['count']})",
+            f"  block latency  p50/p90/p99 {_q(block, 'p50')}/"
+            f"{_q(block, 'p90')}/{_q(block, 'p99')} us",
+            f"  quantile sketch relative error <= "
+            f"{self.summary['quantile_relative_error']:.1%}",
+        ]
+        cache = self.summary.get("cache")
+        if cache is not None:
+            bounded = "bounded" if self.cache_bounded else "UNBOUNDED"
+            lines.append(
+                f"  state cache  {cache['entries']}/{cache['capacity']} "
+                f"entries (peak {cache['peak_entries']}, "
+                f"{cache['evictions']} evictions, hit rate "
+                f"{cache['hit_rate']:.1%}) — {bounded}"
+            )
+        interesting = {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(("resilience_", "durability_"))
+        }
+        if interesting:
+            lines.append("  faults & durability:")
+            for name, value in interesting.items():
+                lines.append(f"    {name} = {value:g}")
+        return "\n".join(lines)
+
+
+def _fault_plan_factory(config: SoakConfig):
+    if config.scenario is None:
+        return None
+    from dataclasses import replace
+
+    from ..resilience import SCENARIOS, FaultPlan, RecoveryPolicy
+
+    try:
+        scenario = SCENARIOS[config.scenario]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown chaos scenario {config.scenario!r} (known: {known})"
+        ) from None
+    if scenario.kind != "faults":
+        raise ValueError(
+            f"scenario {scenario.name!r} is a {scenario.kind} scenario; the "
+            "soak harness injects runtime faults only (crash/reorg sweeps "
+            "live in `repro crashfuzz`)"
+        )
+    policy = RecoveryPolicy()
+    if scenario.recovery_overrides:
+        policy = replace(policy, **scenario.recovery_overrides)
+
+    def factory(number: int) -> FaultPlan:
+        return FaultPlan(
+            f"soak:{config.seed}:{number}",
+            config=scenario.config,
+            recovery=policy,
+        )
+
+    return factory
+
+
+def _durability(config: SoakConfig, registry: MetricsRegistry):
+    if config.durable_dir is None:
+        return None
+    from ..durability import DurableCommitPipeline, FileMedium
+
+    return DurableCommitPipeline(
+        FileMedium(config.durable_dir),
+        checkpoint_interval=config.checkpoint_interval,
+        metrics=registry,
+    )
+
+
+def run_soak(config: SoakConfig, out=None, progress=None) -> SoakReport:
+    """Run one soak; stream JSONL snapshots to ``out``; return the report.
+
+    ``out`` is a path or a writable text file (None discards snapshots);
+    ``progress`` (optional) is called with every snapshot dict — the CLI
+    uses it for the live per-window report.  The snapshot stream is
+    byte-identical across runs of the same config.
+    """
+    spec = config.spec()
+    chain = build_stream_chain(spec, cache_capacity=config.cache_capacity)
+    stream = BlockStream(chain)
+    registry = MetricsRegistry()
+    observer = SoakObserver(metrics=registry)
+    executor = EXECUTOR_FACTORIES[config.executor](config.threads, observer)
+    executor.durability = _durability(config, registry)
+    service = ChainService(
+        stream,
+        executor,
+        observer=observer,
+        fault_plan_factory=_fault_plan_factory(config),
+    )
+    telemetry = SoakTelemetry(
+        window_blocks=config.window_blocks,
+        registry=registry,
+        db=chain.world.db,
+    )
+
+    opened = None
+    sink = out
+    if isinstance(out, str):
+        opened = sink = open(out, "w")
+    try:
+        def emit(snapshot: dict) -> None:
+            if sink is not None:
+                sink.write(SoakTelemetry.snapshot_line(snapshot))
+                sink.write("\n")
+            if progress is not None:
+                progress(snapshot)
+
+        for outcome in service.run(config.blocks):
+            snapshot = telemetry.record_block(
+                outcome.number,
+                tx_count=outcome.tx_count,
+                gas_used=outcome.gas_used,
+                latency_us=outcome.latency_us,
+                tx_latencies_us=outcome.tx_latencies_us,
+            )
+            if snapshot is not None:
+                emit(snapshot)
+        tail = telemetry.finish()
+        if tail is not None:
+            emit(tail)
+    finally:
+        if opened is not None:
+            opened.close()
+
+    summary = telemetry.summary()
+    cache = chain.world.db.cache
+    kinds = registry.kinds()
+    counters: dict = {}
+    for series, value in registry.as_dict().items():
+        # Cumulative counter totals, labelled series folded into their
+        # base name — same shape as the per-window `counters` section.
+        if kinds.get(series) != "counter" or not value:
+            continue
+        base = series.split("{", 1)[0]
+        counters[base] = counters.get(base, 0) + value
+    return SoakReport(
+        executor=config.executor,
+        threads=config.threads,
+        blocks=service.blocks_committed,
+        accounts=spec.accounts,
+        seed=config.seed,
+        summary=summary,
+        snapshots=telemetry.windows_emitted,
+        cache_bounded=cache.peak_entries <= max(cache.capacity, 0),
+        counters=counters,
+    )

@@ -12,12 +12,16 @@ from .block import Block, Chain, build_chain, ChainSpec
 from .zipf import ZipfSampler
 from .erc20_workload import conflict_ratio_block, independent_transfers_block
 from .mainnet import MainnetConfig, MainnetWorkload
+from .stream import BlockStream, StreamSpec, build_stream_chain
 
 __all__ = [
     "Block",
+    "BlockStream",
     "Chain",
     "ChainSpec",
+    "StreamSpec",
     "build_chain",
+    "build_stream_chain",
     "ZipfSampler",
     "conflict_ratio_block",
     "independent_transfers_block",

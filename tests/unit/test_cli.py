@@ -78,6 +78,23 @@ class TestParser:
         assert not args.no_reorg
         assert args.dump is None
 
+    def test_soak_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.blocks == 200
+        assert args.window == 20
+        assert args.executor == "parallelevm"
+        assert args.threads == 8
+        assert args.accounts == 20_000
+        assert args.cache_capacity == 100_000
+        assert args.scenario is None
+        assert args.durable_dir is None
+        assert args.out is None
+        assert not args.quiet
+
+    def test_soak_validates_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--executor", "nonsense"])
+
 
 class TestCommands:
     def test_compare_small(self, capsys):
@@ -200,6 +217,41 @@ class TestCommands:
             == 0
         )
         assert "recovered to genesis" in capsys.readouterr().out
+
+    def test_soak_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "soak.jsonl"
+        code = main(
+            [
+                "soak",
+                "--blocks", "6",
+                "--window", "3",
+                "--accounts", "200",
+                "--txs", "6",
+                "--threads", "4",
+                "--cache-capacity", "5000",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window   0" in out
+        assert "soak: parallelevm x4 · 6 blocks" in out
+        assert "bounded" in out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            snapshot = json.loads(line)
+            assert snapshot["throughput"]["blocks"] == 3
+
+    def test_soak_unknown_scenario_is_a_usage_error(self, capsys):
+        code = main(
+            ["soak", "--blocks", "1", "--accounts", "50", "--txs", "2",
+             "--scenario", "nonsense"]
+        )
+        assert code == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
 
     def test_crashfuzz_small(self, capsys):
         argv = [

@@ -55,6 +55,36 @@ class TestLRUCache:
         assert "a" not in cache
         assert cache.hits == 0 and cache.misses == 0
 
+    def test_evictions_counted(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 0
+        cache.put("c", 3)  # evicts a
+        cache.put("b", 20)  # refresh, no eviction
+        assert cache.evictions == 1
+        assert cache.as_dict()["evictions"] == 1
+
+    def test_peak_entries_tracks_high_water_mark(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, 1)
+        assert cache.peak_entries == 3
+        cache.clear()
+        assert len(cache) == 0
+        # The high-water mark survives a clear: it answers "how much memory
+        # did this run ever need", not "how much is held right now".
+        assert cache.peak_entries == 3
+        assert cache.as_dict()["peak_entries"] == 3
+
+    def test_reset_stats_rebases_peak_to_current_occupancy(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.reset_stats()
+        assert cache.evictions == 0
+        assert cache.peak_entries == 2
+
 
 class TestMemoryKV:
     def test_reads_are_free(self):

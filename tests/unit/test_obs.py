@@ -66,6 +66,7 @@ class TestHistogram:
         # pair one-to-one and the overflow bucket is never silently dropped.
         assert h.as_value() == {
             "buckets": [10, "+inf"],
+            "bounds": [["-inf", 10], [10, "+inf"]],
             "counts": [1, 0],
             "count": 1,
             "sum": 3.0,
