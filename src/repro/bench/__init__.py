@@ -25,6 +25,7 @@ from .experiments import (
     run_fig12,
     run_fig3,
     run_overhead,
+    run_pipeline,
 )
 from .report import render_table, render_series, render_histogram
 from .suite import (
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig12",
     "run_fig3",
     "run_overhead",
+    "run_pipeline",
     "render_table",
     "render_series",
     "render_histogram",

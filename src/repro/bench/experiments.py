@@ -585,3 +585,75 @@ def run_overhead(
         rows,
     )
     return ExperimentResult("overhead", data, rendered, PAPER_OVERHEAD)
+
+
+# --------------------------------------------------- pipelined execution
+
+
+def run_pipeline(
+    blocks: int = 30,
+    txs_per_block: int = 40,
+    threads: int = DEFAULT_THREADS,
+    accounts: int = 20_000,
+) -> ExperimentResult:
+    """Async-storage pipelining: prefetch and commit off the block path.
+
+    Runs the chain service over the default soak stream with a durable
+    commit pipeline attached, once per pipeline configuration, and reports
+    sustained simulated service time per block.  The synchronous row is the
+    baseline every ratio is against; "prefetch" warms the next block's
+    statically-predicted read set in the dissemination window; "async
+    commit" moves the journal+fsync commit onto the virtual commit lane.
+    Every configuration must end on the identical state fingerprint — the
+    pipeline changes *when* the clock says stages ran, never what executed.
+    """
+    # Lazy imports: repro.service pulls in this module via bench.suite.
+    from ..durability import DurableCommitPipeline
+    from ..pipeline import PipelineConfig, PipelineCoordinator
+    from ..service import ChainService
+    from ..workloads.stream import BlockStream, StreamSpec, build_stream_chain
+
+    configs = [
+        ("synchronous", None),
+        ("prefetch only", PipelineConfig(async_commit=False)),
+        ("async commit only", PipelineConfig(prefetch=False)),
+        ("prefetch + async commit", PipelineConfig()),
+    ]
+    per_block: dict[str, float] = {}
+    fingerprints = set()
+    for label, pipeline_config in configs:
+        chain = build_stream_chain(
+            StreamSpec(accounts=accounts, txs_per_block=txs_per_block, seed=1),
+            cache_capacity=100_000,
+        )
+        executor = ParallelEVMExecutor(threads=threads)
+        executor.durability = DurableCommitPipeline()
+        coordinator = (
+            PipelineCoordinator(pipeline_config)
+            if pipeline_config is not None
+            else None
+        )
+        service = ChainService(BlockStream(chain), executor, pipeline=coordinator)
+        for _ in service.run(blocks):
+            pass
+        per_block[label] = service.sim_time_us / blocks
+        fingerprints.add(chain.world.fingerprint())
+    if len(fingerprints) != 1:
+        raise ConcurrencyError("pipelined service diverged from synchronous")
+
+    baseline = per_block["synchronous"]
+    data = {
+        "per_block_us": per_block,
+        "speedup": {
+            label: baseline / value for label, value in per_block.items()
+        },
+    }
+    rendered = render_table(
+        "Pipelined execution (prefetch + async commit)",
+        ["configuration", "us / block", "vs synchronous"],
+        [
+            [label, f"{per_block[label]:.1f}", f"{baseline / per_block[label]:.2f}x"]
+            for label, _ in configs
+        ],
+    )
+    return ExperimentResult("pipeline", data, rendered)

@@ -48,6 +48,7 @@ EXPERIMENTS = {
     "fig11": exp.run_fig11,
     "fig12": exp.run_fig12,
     "overhead": exp.run_overhead,
+    "pipeline": exp.run_pipeline,
 }
 
 
@@ -515,6 +516,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         scenario=args.scenario,
         durable_dir=args.durable_dir,
         checkpoint_interval=args.checkpoint_interval,
+        pipeline=args.pipeline,
+        prefetch=not args.no_prefetch,
+        async_commit=not args.no_async_commit,
+        prefetch_io_depth=args.prefetch_io_depth,
     )
 
     def progress(snapshot: dict) -> None:
@@ -828,6 +833,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="snapshot + prune the journal every N blocks (0 disables)",
+    )
+    soak.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="overlap prefetch, execution and commit across blocks on the "
+        "simulated clock (repro.pipeline)",
+    )
+    soak.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="with --pipeline: disable the read-set prefetch stage",
+    )
+    soak.add_argument(
+        "--no-async-commit",
+        action="store_true",
+        help="with --pipeline: commit synchronously (no commit lane)",
+    )
+    soak.add_argument(
+        "--prefetch-io-depth",
+        type=int,
+        default=8,
+        help="parallel reads the prefetcher keeps in flight",
     )
     soak.add_argument(
         "--out", metavar="FILE", help="write one JSONL snapshot line per window"

@@ -55,6 +55,22 @@ class BlockResult:
         return sum(r.gas_used for r in self.tx_results)
 
 
+def block_read_keys(result: BlockResult) -> set[StateKey]:
+    """The union of every transaction's observed read set.
+
+    What the block, as a unit, read from committed state — the multi-block
+    pipeline intersects this with the previous block's in-flight write set
+    to decide whether (and how long) execution must barrier on the async
+    commit lane.  Block-level bookkeeping reads (fee settlement, validation
+    re-reads) are deliberately excluded: they are not transaction-observed
+    values and never change a transaction's outcome.
+    """
+    keys: set[StateKey] = set()
+    for tx_result in result.tx_results:
+        keys.update(tx_result.read_set)
+    return keys
+
+
 class BlockExecutor(ABC):
     """Interface every concurrency-control algorithm implements.
 

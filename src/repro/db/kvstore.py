@@ -9,13 +9,15 @@ read would have taken, and the discrete-event machine accounts for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 from .cache import LRUCache
 
-# Marker for a prefetched key that has no stored value (reads fall back to
-# the caller-supplied per-key default).
-_ABSENT = object()
+# Private miss marker for the single cache probe in `read`.  It is never
+# *stored* anywhere: the block cache only ever holds real values (including
+# resolved per-key defaults for keys absent from the backing dict), so code
+# reading through `LRUCache.get` directly can never observe a sentinel.
+_CACHE_MISS = object()
 
 
 @dataclass(slots=True, frozen=True)
@@ -101,11 +103,11 @@ class SimulatedDiskKV:
         faults = self.faults
         if faults is not None and faults.drop_cache(key):
             self.cache.drop(key)
-        if key in self.cache:
+        # One probe serves both the value and the hit/miss stat, so the
+        # LRU's hits + misses always equal the reads served through here.
+        value = self.cache.get(key, _CACHE_MISS)
+        if value is not _CACHE_MISS:
             self.cache_reads += 1
-            value = self.cache.get(key, default)
-            if value is _ABSENT:  # prefetched a key with no stored value
-                value = default
             sample = ReadSample(value, self.cache_latency_us, True)
         else:
             self.disk_reads += 1
@@ -138,18 +140,35 @@ class SimulatedDiskKV:
         """
         return self._data.get(key, default)
 
-    def warm(self, keys: Iterable[Hashable]) -> int:
+    def warm(
+        self,
+        keys: Iterable[Hashable],
+        default_for: Callable[[Hashable], object] | None = None,
+    ) -> int:
         """Pull ``keys`` into the cache (the prefetching primitive, Table 2).
 
         Returns the number of keys newly cached.  Prefetching happens on
         spare cores/IO queue depth ahead of execution, so it is not charged
         to the block's critical path by the prefetch experiment harness.
+
+        Keys absent from the backing dict are cached as ``default_for(key)``
+        — the same value a cold :meth:`read` with that default would have
+        cached.  With no ``default_for``, absent keys are left cold rather
+        than cached under a sentinel that direct cache readers could
+        observe (:class:`~repro.state.world.WorldState` always supplies its
+        per-key default resolver, so state-key prefetches never skip).
         """
         warmed = 0
         for key in keys:
-            if key not in self.cache:
-                self.cache.put(key, self._data.get(key, _ABSENT))
-                warmed += 1
+            if key in self.cache:
+                continue
+            if key in self._data:
+                self.cache.put(key, self._data[key])
+            elif default_for is not None:
+                self.cache.put(key, default_for(key))
+            else:
+                continue
+            warmed += 1
         return warmed
 
     def __contains__(self, key: Hashable) -> bool:

@@ -47,6 +47,19 @@ from .medium import MemoryMedium
 _MISSING = object()
 
 
+def publish_order(writes) -> list:
+    """The deterministic order a block's committed keys become visible in.
+
+    The commit pipeline walks keys in sorted order everywhere it matters —
+    undo preimages, the crash-site apply, the delta digest — and the
+    multi-block pipeline's read barrier (:mod:`repro.pipeline.driver`)
+    models exactly this: a reader of an in-flight key waits for the
+    fraction of the commit that precedes its key here, not for the whole
+    commit.
+    """
+    return sorted(writes)
+
+
 def delta_digest(pre_root: bytes, writes: dict) -> bytes:
     """A commitment to (pre-state, block delta), checkable before apply.
 
@@ -101,6 +114,13 @@ class DurableCommitPipeline:
         self.blocks_committed = 0
         self.commit_us_total = 0.0
         self.fsyncs = 0
+        # The reader-visible portion of the last commit: journaling the
+        # block body publishes each write to the in-memory buffer as its
+        # record lands, so a pipelined reader of an in-flight key waits at
+        # most this long (the fsync/marker/seal tail is durability-only —
+        # no reader ever needs it).  repro.pipeline uses this to size the
+        # cross-block read barrier.
+        self.last_publish_us = 0.0
         # High-water marks for incremental metric publication.
         self._published_records = 0
         self._published_bytes = 0
@@ -132,7 +152,7 @@ class DurableCommitPipeline:
 
         # --- 1. journal the block (redo image + undo preimages) ----------
         pre_root = world.fingerprint()
-        preimages = {key: world.peek(key) for key in sorted(writes)}
+        preimages = {key: world.peek(key) for key in publish_order(writes)}
         elapsed += self.journal.append(
             BeginRecord(block_number, len(result.tx_results), pre_root),
             site="begin",
@@ -170,6 +190,10 @@ class DurableCommitPipeline:
         elapsed += self.journal.append(
             UndoRecord(block_number, preimages), site="undo"
         ) * cost.journal_byte_us
+        # Everything journaled so far publishes the block's writes to the
+        # in-memory buffer (readers can see them); the rest of the commit
+        # only makes them durable.
+        self.last_publish_us = elapsed
 
         # --- 2. fsync the body, then the atomicity marker -----------------
         elapsed += self._fsync()

@@ -40,7 +40,11 @@ STALL = "stall"
 
 # Task kinds serialized at the ordered commit point (mirrors
 # repro.obs.report.COMMIT_POINT_KINDS without importing it circularly).
-_COMMIT_KINDS = frozenset({"validate", "redo", "commit", "serial-fallback"})
+# "commit-lane" is the pipeline's virtual commit core (repro.pipeline):
+# block-level trie/journal commits chained after the per-tx commit point.
+_COMMIT_KINDS = frozenset(
+    {"validate", "redo", "commit", "serial-fallback", "commit-lane"}
+)
 
 
 @dataclass(slots=True, frozen=True)

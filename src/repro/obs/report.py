@@ -15,7 +15,9 @@ from .metrics import MetricsRegistry
 from .trace import BlockObserver, Span, TraceRecorder
 
 # Task kinds that run at the ordered commit point (one in flight at a time).
-COMMIT_POINT_KINDS = frozenset({"validate", "redo", "commit"})
+# "commit-lane" is the pipeline's virtual commit core (repro.pipeline),
+# which serialises block-level commits the same way.
+COMMIT_POINT_KINDS = frozenset({"validate", "redo", "commit", "commit-lane"})
 
 
 def phase_breakdown_table(trace: TraceRecorder, makespan_us: float) -> str:

@@ -256,8 +256,18 @@ class SoakTelemetry:
         gas_used: int,
         latency_us: float,
         tx_latencies_us=(),
+        advance_us: float | None = None,
     ) -> dict | None:
-        """Fold one committed block in; a snapshot dict when a window closes."""
+        """Fold one committed block in; a snapshot dict when a window closes.
+
+        ``advance_us`` (optional) is how far the block moved the service
+        clock when a multi-block pipeline overlaps blocks: throughput is
+        computed over the clock advance while the latency sketches keep
+        the block's full end-to-end latency.  ``None`` (the synchronous
+        service) means the two coincide.
+        """
+        if advance_us is None:
+            advance_us = latency_us
         if self.first_block is None:
             self.first_block = number
         if self._window_first_block is None:
@@ -267,7 +277,7 @@ class SoakTelemetry:
             scope.blocks += 1
             scope.txs += tx_count
             scope.gas += gas_used
-            scope.sim_time_us += latency_us
+            scope.sim_time_us += advance_us
             scope.block_lat.observe(latency_us)
             for tx_latency in tx_latencies_us:
                 scope.tx_lat.observe(tx_latency)

@@ -1,0 +1,115 @@
+"""Static read-set prediction for the async prefetch stage.
+
+Reddio's prefetcher (PAPERS.md, arXiv 2503.04595) warms state ahead of
+execution from what a block's transactions *statically* declare: sender
+and recipient accounts from the envelope, and mapping slots derivable from
+the 4-byte selector plus static calldata arguments.  This module is the
+same idea over this repository's workload contracts: it decodes each
+transaction's calldata (selector + 32-byte static args, the only ABI shape
+the workloads use) into the :data:`~repro.state.keys.StateKey` set the
+transaction will read with near-certainty, without executing anything.
+
+The prediction is deliberately *static-only*: keys that require reading
+state to derive (an AMM pair's token balances live behind the addresses
+stored in its ``token0``/``token1`` slots) are not predicted — that is the
+honest limit of a prefetcher that runs before execution.  Wrongly
+predicted keys only waste prefetch bandwidth; they can never corrupt a
+read, because warming caches exactly the value (or per-key default) a
+cold read would have cached.
+
+Everything here is a pure function of the transaction list, so a block's
+predicted read set is deterministic and the pipelined soak stream stays
+byte-identical run to run.
+"""
+
+from __future__ import annotations
+
+from ..contracts.amm import (
+    RESERVE0_SLOT,
+    RESERVE1_SLOT,
+    SEL_SWAP,
+    TOKEN0_SLOT,
+    TOKEN1_SLOT,
+)
+from ..contracts.crowdfund import (
+    SEL_CONTRIBUTE,
+    TOTAL_RAISED_SLOT,
+    contribution_slot,
+)
+from ..contracts.erc20 import (
+    SEL_APPROVE,
+    SEL_TRANSFER,
+    SEL_TRANSFER_FROM,
+    allowance_slot,
+    balance_slot,
+)
+from ..primitives import ADDRESS_BYTES
+from ..state.keys import (
+    StateKey,
+    balance_key,
+    code_key,
+    nonce_key,
+    storage_key,
+)
+
+
+def _arg_address(word: bytes) -> bytes:
+    """Decode a 32-byte static argument back into its 20-byte address."""
+    return word[-ADDRESS_BYTES:]
+
+
+def _calldata_args(data: bytes) -> list[bytes]:
+    return [data[4 + 32 * i : 4 + 32 * (i + 1)] for i in range((len(data) - 4) // 32)]
+
+
+def predicted_read_keys(txs) -> list[StateKey]:
+    """The statically-predictable read set of a block, in first-use order.
+
+    Covers, per transaction: the sender's balance and nonce (charged on
+    every envelope), the recipient's balance and code, and the storage
+    slots derivable from selector + static arguments for the workload
+    contracts (ERC-20 transfer/transferFrom/approve, AMM swap reserves and
+    token-address slots, crowdfund contributions).  Deduplicated, order
+    deterministic.
+    """
+    seen: set[StateKey] = set()
+    out: list[StateKey] = []
+
+    def add(key: StateKey) -> None:
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+
+    for tx in txs:
+        add(balance_key(tx.sender))
+        add(nonce_key(tx.sender))
+        to = tx.to
+        if to is None:
+            continue
+        add(balance_key(to))
+        add(code_key(to))
+        data = tx.data
+        if len(data) < 4:
+            continue
+        sel = int.from_bytes(data[:4], "big")
+        args = _calldata_args(data)
+        if sel == SEL_TRANSFER and len(args) >= 2:
+            add(storage_key(to, balance_slot(tx.sender)))
+            add(storage_key(to, balance_slot(_arg_address(args[0]))))
+        elif sel == SEL_TRANSFER_FROM and len(args) >= 3:
+            owner = _arg_address(args[0])
+            recipient = _arg_address(args[1])
+            add(storage_key(to, allowance_slot(owner, tx.sender)))
+            add(storage_key(to, balance_slot(owner)))
+            add(storage_key(to, balance_slot(recipient)))
+        elif sel == SEL_APPROVE and len(args) >= 2:
+            add(storage_key(to, allowance_slot(tx.sender, _arg_address(args[0]))))
+        elif sel == SEL_SWAP:
+            add(storage_key(to, TOKEN0_SLOT))
+            add(storage_key(to, TOKEN1_SLOT))
+            add(storage_key(to, RESERVE0_SLOT))
+            add(storage_key(to, RESERVE1_SLOT))
+        elif sel == SEL_CONTRIBUTE:
+            add(storage_key(to, TOTAL_RAISED_SLOT))
+            add(storage_key(to, contribution_slot(tx.sender)))
+    return out

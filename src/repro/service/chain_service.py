@@ -57,7 +57,14 @@ class SoakObserver:
 
 @dataclass(slots=True)
 class BlockOutcome:
-    """What one service step produced (telemetry inputs, not state)."""
+    """What one service step produced (telemetry inputs, not state).
+
+    ``pipelined_latency_us``/``advance_us`` are set only when a pipeline
+    coordinator is attached: the former is the block's end-to-end latency
+    on the pipeline clock (stalls included), the latter the service-clock
+    delta the block contributed — smaller than its latency exactly when
+    the overlap hid prefetch or commit time behind neighbouring blocks.
+    """
 
     number: int
     tx_count: int
@@ -65,11 +72,20 @@ class BlockOutcome:
     makespan_us: float
     commit_us: float
     tx_latencies_us: list[float] = field(default_factory=list)
+    pipelined_latency_us: float | None = None
+    advance_us: float | None = None
 
     @property
     def latency_us(self) -> float:
         """The block's end-to-end simulated service time."""
+        if self.pipelined_latency_us is not None:
+            return self.pipelined_latency_us
         return self.makespan_us + self.commit_us
+
+    @property
+    def service_advance_us(self) -> float:
+        """How far this block moved the service clock."""
+        return self.advance_us if self.advance_us is not None else self.latency_us
 
 
 class ChainService:
@@ -80,7 +96,15 @@ class ChainService:
     :class:`~repro.resilience.FaultPlan` installed on the executor — a
     fresh plan per block, so injection streams are deterministic per
     (seed, height) and the per-block counters published into the shared
-    registry are deltas, exactly like the chaos harness does it.
+    registry are deltas, exactly like the chaos harness does it.  Blocks
+    with no plan restore the recovery policy the executor was constructed
+    with rather than clobbering it.
+
+    ``pipeline`` (optional, a
+    :class:`~repro.pipeline.PipelineCoordinator`) overlaps prefetch,
+    execution and commit across block boundaries on the simulated clock;
+    ``None`` (the default) keeps the synchronous path bit-identical to
+    the pre-pipeline build.
     """
 
     def __init__(
@@ -89,6 +113,7 @@ class ChainService:
         executor: BlockExecutor,
         observer: SoakObserver | None = None,
         fault_plan_factory=None,
+        pipeline=None,
     ) -> None:
         self.stream = stream
         self.chain = stream.chain
@@ -96,6 +121,9 @@ class ChainService:
         self.executor = executor
         self.observer = observer
         self.fault_plan_factory = fault_plan_factory
+        self.pipeline = pipeline
+        # The executor's own recovery policy, restored on plan-less blocks.
+        self._default_recovery = executor.recovery
         self.height = self.stream.spec.start_block
         self.sim_time_us = 0.0
         self.blocks_committed = 0
@@ -106,6 +134,12 @@ class ChainService:
         """Generate, execute and commit the next block of the stream."""
         number = self.height
         block = self.stream.block(number)
+        pipeline = self.pipeline
+        if pipeline is not None:
+            # Warm the block's statically-predicted read set before it
+            # executes; the simulated prefetch interval lands on the
+            # coordinator's prefetch lane, overlapped with earlier blocks.
+            pipeline.prefetch(self.world, block.txs)
         observer = self.observer
         if observer is not None:
             observer.begin_block()
@@ -113,9 +147,22 @@ class ChainService:
         if self.fault_plan_factory is not None:
             plan = self.fault_plan_factory(number)
             executor.fault_plan = plan
-            executor.recovery = plan.recovery if plan is not None else None
+            executor.recovery = (
+                plan.recovery if plan is not None else self._default_recovery
+            )
         result = executor.execute_block(self.world, block.txs, block.env)
         commit_us = executor.commit_block(self.world, number, result)
+        if pipeline is not None:
+            # Only a durable commit has a reader-visible publish phase;
+            # a memory-only commit's writes are published by the per-tx
+            # commit point already inside the makespan.
+            durability = getattr(executor, "durability", None)
+            publish_us = (
+                durability.last_publish_us if durability is not None else 0.0
+            )
+            timing = pipeline.account(number, result, commit_us, publish_us)
+        else:
+            timing = None
         outcome = BlockOutcome(
             number=number,
             tx_count=len(result.tx_results),
@@ -125,9 +172,11 @@ class ChainService:
             tx_latencies_us=(
                 observer.tx_latencies_us() if observer is not None else []
             ),
+            pipelined_latency_us=timing.latency_us if timing else None,
+            advance_us=timing.advance_us if timing else None,
         )
         self.height += 1
-        self.sim_time_us += outcome.latency_us
+        self.sim_time_us += outcome.service_advance_us
         self.blocks_committed += 1
         self.txs_committed += outcome.tx_count
         self.gas_used += outcome.gas_used

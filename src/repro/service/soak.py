@@ -38,6 +38,12 @@ class SoakConfig:
     scenario: str | None = None  # a repro.resilience chaos scenario name
     durable_dir: str | None = None
     checkpoint_interval: int = 0
+    # The multi-block pipeline (repro.pipeline): off by default, keeping
+    # the synchronous service path — and its JSONL stream — bit-identical.
+    pipeline: bool = False
+    prefetch: bool = True
+    async_commit: bool = True
+    prefetch_io_depth: int = 8
     # A fully-specified stream overrides the scalar workload knobs above.
     stream_spec: StreamSpec | None = None
 
@@ -162,6 +168,21 @@ def _durability(config: SoakConfig, registry: MetricsRegistry):
     )
 
 
+def _pipeline(config: SoakConfig, registry: MetricsRegistry):
+    if not config.pipeline:
+        return None
+    from ..pipeline import PipelineConfig, PipelineCoordinator
+
+    return PipelineCoordinator(
+        PipelineConfig(
+            prefetch=config.prefetch,
+            async_commit=config.async_commit,
+            io_depth=config.prefetch_io_depth,
+        ),
+        metrics=registry,
+    )
+
+
 def run_soak(config: SoakConfig, out=None, progress=None) -> SoakReport:
     """Run one soak; stream JSONL snapshots to ``out``; return the report.
 
@@ -182,6 +203,7 @@ def run_soak(config: SoakConfig, out=None, progress=None) -> SoakReport:
         executor,
         observer=observer,
         fault_plan_factory=_fault_plan_factory(config),
+        pipeline=_pipeline(config, registry),
     )
     telemetry = SoakTelemetry(
         window_blocks=config.window_blocks,
@@ -208,6 +230,7 @@ def run_soak(config: SoakConfig, out=None, progress=None) -> SoakReport:
                 gas_used=outcome.gas_used,
                 latency_us=outcome.latency_us,
                 tx_latencies_us=outcome.tx_latencies_us,
+                advance_us=outcome.advance_us,
             )
             if snapshot is not None:
                 emit(snapshot)

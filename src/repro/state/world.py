@@ -97,8 +97,13 @@ class WorldState:
     # ---------------------------------------------------------- prefetching
 
     def warm(self, keys: Iterable[StateKey]) -> int:
-        """Prefetch keys into the block cache (Table 2's optimization)."""
-        return self.db.warm(keys)
+        """Prefetch keys into the block cache (Table 2's optimization).
+
+        Keys with no stored value are cached as their per-key default —
+        exactly what a cold read would have cached — so a warmed read
+        returns the same value as an unwarmed one, just faster.
+        """
+        return self.db.warm(keys, default_value)
 
     # ------------------------------------------------------------- hashing
 

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.db import LRUCache, MemoryKV, SimulatedDiskKV
 
 
@@ -129,11 +132,32 @@ class TestSimulatedDiskKV:
     def test_warm_makes_reads_cache_hits(self):
         kv = SimulatedDiskKV(disk_latency_us=20.0, cache_latency_us=0.5)
         kv.write("a", 1)
+        # Without a default resolver, absent keys are left cold rather than
+        # cached under a sentinel a direct cache reader could observe.
         warmed = kv.warm(["a", "b"])
-        assert warmed == 2
+        assert warmed == 1
         assert kv.read("a").cache_hit
-        # Warming a key with no stored value must not shadow the default.
+        assert not kv.read("b", default=99).cache_hit
         assert kv.read("b", default=99).value == 99
+
+    def test_warm_with_default_resolver_caches_absent_keys(self):
+        kv = SimulatedDiskKV(disk_latency_us=20.0, cache_latency_us=0.5)
+        kv.write("a", 1)
+        warmed = kv.warm(["a", "b"], default_for=lambda key: 0)
+        assert warmed == 2
+        sample = kv.read("b", default=0)
+        assert sample.cache_hit
+        assert sample.value == 0
+
+    def test_cache_never_holds_a_sentinel(self):
+        # The regression this guards: `warm` used to cache a module-private
+        # marker object for absent keys, which leaked to anything reading
+        # through `LRUCache.get` directly instead of `SimulatedDiskKV.read`.
+        kv = SimulatedDiskKV()
+        kv.write("a", 1)
+        kv.warm(["a", "missing"], default_for=lambda key: 0)
+        assert kv.cache.get("a") == 1
+        assert kv.cache.get("missing") == 0
 
     def test_warm_is_idempotent(self):
         kv = SimulatedDiskKV()
@@ -158,3 +182,43 @@ class TestSimulatedDiskKV:
         kv.read("a")
         kv.read("b")  # evicts a
         assert not kv.read("a").cache_hit
+
+
+# One op per step: write, read, or warm (with/without a default resolver).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "warm", "warm_default"]),
+        st.integers(min_value=0, max_value=7),  # a small, collision-rich keyspace
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=60,
+)
+
+
+class TestCacheAccounting:
+    """Every read is exactly one LRU hit or one LRU miss — never neither.
+
+    The historical failure mode: the store probed ``key in cache`` before
+    ``cache.get``, so misses bypassed the LRU's stat counters entirely and
+    ``hits + misses`` undercounted reads.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS, capacity=st.sampled_from([0, 1, 3, 100]))
+    def test_hits_plus_misses_equals_reads(self, ops, capacity):
+        kv = SimulatedDiskKV(cache_capacity=capacity)
+        reads = 0
+        for op, key, value in ops:
+            if op == "write":
+                kv.write(key, value)
+            elif op == "read":
+                kv.read(key, default=value)
+                reads += 1
+            elif op == "warm":
+                kv.warm([key])
+            else:
+                kv.warm([key], default_for=lambda k: 0)
+        assert kv.cache.hits + kv.cache.misses == reads
+        assert kv.cache_reads == kv.cache.hits
+        assert kv.disk_reads == kv.cache.misses
+        assert kv.cache_reads + kv.disk_reads == reads
