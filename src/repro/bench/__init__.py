@@ -24,6 +24,7 @@ from .experiments import (
     run_fig11,
     run_fig12,
     run_fig3,
+    run_ingress_overload,
     run_overhead,
     run_pipeline,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "run_fig3",
+    "run_ingress_overload",
     "run_overhead",
     "run_pipeline",
     "render_table",

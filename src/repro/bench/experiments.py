@@ -657,3 +657,91 @@ def run_pipeline(
         ],
     )
     return ExperimentResult("pipeline", data, rendered)
+
+
+def run_ingress_overload(
+    blocks: int = 24,
+    txs_per_block: int = 12,
+    threads: int = DEFAULT_THREADS,
+    accounts: int = 160,
+) -> ExperimentResult:
+    """Overload sweep on the serving path: admission under rising load.
+
+    Runs the deterministic ingress harness (clients -> JSON-RPC facade ->
+    mempool -> chain service) at offered loads from comfortably
+    sustainable to 4x oversubscribed and reports where every transaction
+    went: committed, still pending, shed under backpressure, or rejected
+    at admission.  Correctness-only — every row must certify conservation
+    and serial equivalence, and no row makes a performance claim; the
+    point is that the *accounting* closes at every load factor.
+    """
+    # Lazy import: repro.rpc pulls the service layer in on top of bench.
+    from ..mempool import MempoolConfig
+    from ..rpc import IngressConfig, run_ingress
+
+    rates = [0.8, 1.5, 2.5, 4.0]
+    rows = []
+    data: dict[str, dict] = {}
+    for rate in rates:
+        report = run_ingress(
+            IngressConfig(
+                blocks=blocks,
+                txs_per_block=txs_per_block,
+                threads=threads,
+                accounts=accounts,
+                clients=6,
+                seed=1,
+                window_blocks=max(4, blocks // 4),
+                rate_multiplier=rate,
+                # A pool a few blocks deep, so the global watermark (not
+                # just per-sender quotas) binds once the load exceeds 1x.
+                mempool=MempoolConfig(
+                    capacity=4 * txs_per_block,
+                    per_sender_quota=2 * txs_per_block,
+                ),
+            )
+        )
+        if not report.ok:
+            raise ConcurrencyError(
+                f"ingress run at {rate}x diverged: {report.divergences}"
+            )
+        shed = sum(report.shed.values())
+        rejected = sum(report.rejected.values())
+        label = f"{rate:.1f}x"
+        data[label] = {
+            "submitted": report.submitted,
+            "admitted": report.admitted,
+            "committed": report.committed,
+            "pending": report.pending,
+            "shed": shed,
+            "rejected": rejected,
+            "backpressure_events": report.backpressure_events,
+            "retries": report.retries,
+        }
+        rows.append(
+            [
+                label,
+                str(report.submitted),
+                str(report.admitted),
+                str(report.committed),
+                str(report.pending),
+                str(shed),
+                str(rejected),
+                str(report.backpressure_events),
+            ]
+        )
+    rendered = render_table(
+        "Ingress overload sweep (offered load vs sustainable rate)",
+        [
+            "offered",
+            "submitted",
+            "admitted",
+            "committed",
+            "pending",
+            "shed",
+            "rejected",
+            "backpressure",
+        ],
+        rows,
+    )
+    return ExperimentResult("ingress_overload", data, rendered)

@@ -19,7 +19,11 @@ serial block-order execution) gets an automated hunter:
 - :mod:`repro.check.crashfuzz` — the crash fuzzer: process death at
   every site of the durable commit path (:mod:`repro.durability`) must
   recover to exactly the pre- or post-block state, and reorg rollbacks
-  must reproduce the serial reference.
+  must reproduce the serial reference;
+- :mod:`repro.check.ingress` — the overload scenarios: a seeded client
+  fleet against the JSON-RPC facade (:mod:`repro.rpc`), certifying
+  conservation, typed shedding and serial equivalence under traffic
+  spikes, slow consumers, malformed storms and nonce-gap floods.
 
 CLI entry points: ``repro fuzz``, ``repro certify``, ``repro chaos`` and
 ``repro crashfuzz``.
@@ -41,11 +45,18 @@ from .chaos import (
 from .crashfuzz import (
     CRASH_EXECUTORS,
     CrashSweepReport,
+    PipelinedCrashSweepReport,
     ReorgRoundTripReport,
     crash_sweep_block,
+    pipelined_crash_sweep_block,
     reorg_roundtrip_block,
 )
 from .fuzzer import BlockFuzzer, FuzzConfig
+from .ingress import (
+    ingress_config_for,
+    ingress_seed,
+    run_ingress_scenario,
+)
 from .mutations import (
     MUTATIONS,
     SelfTestReport,
@@ -63,9 +74,13 @@ __all__ = [
     "CertificationReport",
     "ChaosBlockReport",
     "CrashSweepReport",
+    "PipelinedCrashSweepReport",
     "ReorgRoundTripReport",
     "chaos_executors",
     "crash_sweep_block",
+    "ingress_config_for",
+    "ingress_seed",
+    "run_ingress_scenario",
     "reorg_roundtrip_block",
     "Divergence",
     "FuzzConfig",
@@ -78,6 +93,7 @@ __all__ = [
     "certify_block",
     "inject_conflict_bug",
     "mutation_self_test",
+    "pipelined_crash_sweep_block",
     "run_chaos_block",
     "shrink_block",
 ]

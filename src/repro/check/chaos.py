@@ -167,6 +167,14 @@ def run_chaos_block(
     """
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
+    if scenario.kind == "ingress":
+        # Overload scenarios drive the serving stack end to end; the
+        # fuzzer block plays no role (reproduce with (scenario, seed)).
+        from .ingress import run_ingress_scenario
+
+        return run_ingress_scenario(
+            scenario, seed=seed, threads=threads, metrics=metrics
+        )
     if scenario.kind != "faults":
         return _run_durability_scenario(
             chain,

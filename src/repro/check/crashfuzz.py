@@ -16,6 +16,17 @@ MPT state roots (the paper's §6.2 criterion) are additionally checked at
 the two sites bracketing the atomicity boundary, where a torn hybrid would
 hide if fingerprints ever collided.
 
+``pipelined_crash_sweep_block`` extends the sweep to the multi-block
+pipeline's hazard: block N+1 executes *speculatively* against N's
+uncommitted overlay while N's durable commit is still in flight.  A crash
+anywhere in N's commit must never let that speculative state reach
+recovery — the recovered world is exactly pre-N or post-N, and a restarted
+process resumes correctly from it: discarding the speculation and
+re-executing both blocks when N was lost, or salvaging the speculative
+result when N's commit survived.  Either way the resumed tip (and a second
+recovery from the resumed journal) must match the serial reference of
+N then N+1.
+
 ``reorg_roundtrip_block`` exercises the other consumer of the journal's
 undo history: it commits an ancestor plus two canonical blocks durably,
 rolls the chain back to the ancestor through
@@ -220,6 +231,263 @@ def crash_sweep_block(
         metrics.counter("crashfuzz_blocks_total").inc()
         if not report.ok:
             metrics.counter("crashfuzz_failed_blocks_total").inc()
+        metrics.counter("crashfuzz_crashes_total").inc(report.crashes_injected)
+    return report
+
+
+# ---------------------------------------------------------------- pipeline
+
+
+@dataclass(slots=True)
+class PipelinedCrashSweepReport:
+    """Crash sweep of block N's commit with block N+1 executing speculatively."""
+
+    block_number: int
+    tx_count: int
+    sites: list[str] = field(default_factory=list)
+    executors: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+    crashes_injected: int = 0
+    recoveries: int = 0
+    speculations_discarded: int = 0
+    speculations_salvaged: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def certification(self) -> CertificationReport:
+        return CertificationReport(
+            block_number=self.block_number,
+            tx_count=self.tx_count,
+            executors=list(self.executors),
+            divergences=list(self.divergences),
+        )
+
+    def describe(self) -> str:
+        head = (
+            f"pipelined crash sweep block {self.block_number} "
+            f"({self.tx_count} txs, {len(self.sites)} sites x "
+            f"{len(self.executors)} executors, "
+            f"{self.crashes_injected} crashes, "
+            f"{self.speculations_discarded} speculations discarded, "
+            f"{self.speculations_salvaged} salvaged): "
+        )
+        if self.ok:
+            return head + "no speculative state survived any crash"
+        lines = [head + f"{len(self.divergences)} VIOLATIONS"]
+        lines += ["  " + d.describe() for d in self.divergences]
+        return "\n".join(lines)
+
+
+def pipelined_crash_sweep_block(
+    chain: Chain,
+    block: Block,
+    threads: int = 8,
+    executors: dict[str, Callable] | None = None,
+    check_roots: bool = True,
+    metrics=None,
+) -> PipelinedCrashSweepReport:
+    """Certify that pipelined speculation never contaminates recovery.
+
+    ``block`` is split (contiguously, preserving per-sender nonce order)
+    into blocks N and N+1.  Per executor config: N+1's result is computed
+    speculatively against N's uncommitted write overlay — the multi-block
+    pipeline's overlap — and *never* committed while N's durable commit is
+    crashed at every enumerated site.  For each site the certified
+    invariants are:
+
+    1. recovery lands on exactly pre-N or post-N state per
+       :func:`site_expected_state` — in particular never on the
+       speculative N+1 overlay;
+    2. a restarted process resumes from the recovered journal — discarding
+       the speculation and re-executing both blocks after a pre-marker
+       crash, salvaging the speculative result after a post-marker crash —
+       and its tip matches the serial reference of N then N+1;
+    3. a second recovery from the resumed journal reproduces that tip.
+    """
+    executors = CRASH_EXECUTORS if executors is None else executors
+    txs = block.txs
+    if len(txs) < 2:
+        raise ValueError("pipelined sweep needs at least 2 transactions")
+    half = len(txs) // 2
+    block_n = _copy_block(block.number, txs[:half], block.env)
+    block_n1 = _copy_block(block.number + 1, txs[half:], block.env)
+
+    sites = enumerate_crash_sites(len(block_n.txs), checkpoint=False)
+    report = PipelinedCrashSweepReport(
+        block_number=block.number, tx_count=len(block), sites=sites
+    )
+
+    pre_world = chain.fresh_world()
+    pre_fp = pre_world.fingerprint()
+    pre_root = pre_world.state_root() if check_roots else None
+
+    # Serial reference of the fully resumed chain: N then N+1.
+    serial = SerialExecutor()
+    ref = chain.fresh_world()
+    ref.apply(serial.execute_block(ref, block_n.txs, block_n.env).writes)
+    ref.apply(serial.execute_block(ref, block_n1.txs, block_n1.env).writes)
+    final_fp = ref.fingerprint()
+    final_root = ref.state_root() if check_roots else None
+
+    for name, factory in executors.items():
+        report.executors.append(name)
+        executor = factory(threads)
+        result_n = executor.execute_block(
+            chain.fresh_world(), block_n.txs, block_n.env
+        )
+        post_world = chain.fresh_world()
+        post_world.apply(result_n.writes)
+        post_fp = post_world.fingerprint()
+        post_root = post_world.state_root() if check_roots else None
+
+        # The pipeline overlap: N+1 executes against N's uncommitted
+        # overlay while N's durable commit is in flight.  ``spec_fp`` is
+        # the contaminated state recovery must never land on.
+        spec_result = executor.execute_block(
+            post_world, block_n1.txs, block_n1.env
+        )
+        spec_world = chain.fresh_world()
+        spec_world.apply(result_n.writes)
+        spec_world.apply(spec_result.writes)
+        spec_fp = spec_world.fingerprint()
+
+        for site in sites:
+            medium = MemoryMedium()
+            crash = CrashInjector(site)
+            pipeline = DurableCommitPipeline(
+                medium, crash=crash, metrics=metrics
+            )
+            world = chain.fresh_world()
+            try:
+                pipeline.commit(world, block_n.number, result_n)
+            except SimulatedCrash:
+                pass
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(
+                        name, f"pipeline:{site}", f"commit raised {exc}"
+                    )
+                )
+                continue
+            if not crash.fired:
+                report.divergences.append(
+                    Divergence(name, f"pipeline:{site}", "site never fired")
+                )
+                continue
+            report.crashes_injected += 1
+
+            try:
+                recovered = recover(medium, chain.fresh_world, metrics=metrics)
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(
+                        name, f"pipeline:{site}", f"recovery raised {exc}"
+                    )
+                )
+                continue
+            report.recoveries += 1
+
+            expected = site_expected_state(site)
+            want_fp = pre_fp if expected == "pre" else post_fp
+            recovered_fp = recovered.world.fingerprint()
+            if recovered_fp != want_fp:
+                leak = (
+                    "speculative N+1 state leaked into recovery"
+                    if recovered_fp == spec_fp
+                    else f"recovered state is not the expected "
+                    f"{expected}-block state ({recovered.describe()})"
+                )
+                report.divergences.append(
+                    Divergence(name, f"pipeline:{site}", leak)
+                )
+                continue
+            if check_roots and site in _ROOT_CHECK_SITES:
+                want_root = pre_root if expected == "pre" else post_root
+                if recovered.world.state_root() != want_root:
+                    report.divergences.append(
+                        Divergence(
+                            name,
+                            f"pipeline:{site}",
+                            f"MPT root differs from the {expected}-block root",
+                        )
+                    )
+                    continue
+
+            # Resume: a restarted process continues journaling over the
+            # recovered (truncated-clean) medium.
+            resumed = DurableCommitPipeline(medium, metrics=metrics)
+            world = recovered.world
+            try:
+                if expected == "pre":
+                    # N never committed: the speculation ran against a
+                    # state that no longer exists — discard and redo both.
+                    redo_n = executor.execute_block(
+                        world, block_n.txs, block_n.env
+                    )
+                    resumed.commit(world, block_n.number, redo_n)
+                    redo_n1 = executor.execute_block(
+                        world, block_n1.txs, block_n1.env
+                    )
+                    resumed.commit(world, block_n1.number, redo_n1)
+                    report.speculations_discarded += 1
+                else:
+                    # N's commit survived: the recovered state is exactly
+                    # the overlay the speculation ran against — salvage it.
+                    resumed.commit(world, block_n1.number, spec_result)
+                    report.speculations_salvaged += 1
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(
+                        name, f"pipeline:{site}", f"resume raised {exc}"
+                    )
+                )
+                continue
+            if world.fingerprint() != final_fp:
+                report.divergences.append(
+                    Divergence(
+                        name,
+                        f"pipeline:{site}",
+                        "resumed tip differs from the serial N,N+1 reference",
+                    )
+                )
+                continue
+            if check_roots and world.state_root() != final_root:
+                report.divergences.append(
+                    Divergence(
+                        name, f"pipeline:{site}", "resumed MPT root differs"
+                    )
+                )
+                continue
+            try:
+                resumed_rec = recover(
+                    medium, chain.fresh_world, metrics=metrics
+                )
+            except (DurabilityError, RecoveryError) as exc:
+                report.divergences.append(
+                    Divergence(
+                        name,
+                        f"pipeline:{site}",
+                        f"post-resume recovery raised {exc}",
+                    )
+                )
+                continue
+            if resumed_rec.world.fingerprint() != final_fp:
+                report.divergences.append(
+                    Divergence(
+                        name,
+                        f"pipeline:{site}",
+                        f"recovery from the resumed journal diverged "
+                        f"({resumed_rec.describe()})",
+                    )
+                )
+
+    if metrics is not None:
+        metrics.counter("crashfuzz_pipeline_blocks_total").inc()
+        if not report.ok:
+            metrics.counter("crashfuzz_failed_pipeline_blocks_total").inc()
         metrics.counter("crashfuzz_crashes_total").inc(report.crashes_injected)
     return report
 

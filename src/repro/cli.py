@@ -14,6 +14,8 @@ certify      the serializability acceptance gate (fixed seed matrix)
 crashfuzz    certify commit atomicity at every crash site, plus reorgs
 recover      rebuild world state from an on-disk journal + snapshots
 soak         run the long-lived chain service, stream windowed telemetry
+serve        expose the chain service over the demo HTTP JSON-RPC transport
+loadgen      drive the serving stack with the seeded open-loop client fleet
 
 Every command is deterministic: the same arguments print the same numbers.
 """
@@ -49,6 +51,7 @@ EXPERIMENTS = {
     "fig12": exp.run_fig12,
     "overhead": exp.run_overhead,
     "pipeline": exp.run_pipeline,
+    "ingress-overload": exp.run_ingress_overload,
 }
 
 
@@ -399,7 +402,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             failures += 1
             print(report.describe(), file=sys.stderr)
             dump_block, dump_cert = block, report.certification
-            if args.shrink:
+            if args.shrink and scenario.kind == "ingress":
+                # Ingress failures are a function of (scenario, seed)
+                # alone — the fuzzer block plays no role, so there is
+                # nothing to ddmin.
+                print(
+                    f"chaos[{scenario.name}] seed {seed}: ingress "
+                    f"scenarios do not shrink (reproduce with the seed)",
+                    file=sys.stderr,
+                )
+            elif args.shrink:
                 shrunk = shrink_block(
                     block,
                     lambda candidate: not run_chaos_block(
@@ -456,6 +468,7 @@ def _cmd_crashfuzz(args: argparse.Namespace) -> int:
         FuzzConfig,
         block_to_json,
         crash_sweep_block,
+        pipelined_crash_sweep_block,
         reorg_roundtrip_block,
     )
     from .obs import MetricsRegistry, durability_table
@@ -474,6 +487,12 @@ def _cmd_crashfuzz(args: argparse.Namespace) -> int:
                 metrics=metrics,
             )
         ]
+        if args.pipeline:
+            reports.append(
+                pipelined_crash_sweep_block(
+                    fuzzer.chain, block, threads=args.threads, metrics=metrics
+                )
+            )
         if not args.no_reorg:
             reports.append(
                 reorg_roundtrip_block(
@@ -547,6 +566,139 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             f"{report.summary['cache']['capacity']})",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .mempool import Mempool, MempoolConfig
+    from .obs import MetricsRegistry
+    from .rpc import RpcConfig, RpcDispatcher, RpcFacade, serve_http
+    from .service import ChainService
+    from .workloads import ChainSpec, build_chain
+
+    chain = build_chain(ChainSpec(accounts=args.accounts, seed=args.seed))
+    metrics = MetricsRegistry()
+    executor = RUN_EXECUTORS[args.executor](args.threads, None)
+    service = ChainService(None, executor, chain=chain)
+    mempool = Mempool(
+        MempoolConfig(
+            capacity=args.capacity, per_sender_quota=args.sender_quota
+        ),
+        chain.world,
+        metrics=metrics,
+    )
+    facade = RpcFacade(
+        service,
+        mempool,
+        RpcConfig(
+            block_txs=args.block_txs, block_interval_us=args.interval_us
+        ),
+        metrics=metrics,
+    )
+    dispatcher = RpcDispatcher(facade, metrics=metrics)
+
+    async def produce_forever() -> None:
+        # Wall-clock pacing is fine here: `serve` is the interactive demo
+        # front end; every correctness surface runs on SimTransport.
+        now_us = 0.0
+        ticks = 0
+        while args.blocks == 0 or ticks < args.blocks:
+            await asyncio.sleep(args.interval_us / 1e6)
+            now_us += args.interval_us
+            ticks += 1
+            produced = facade.produce_block(now_us)
+            if produced.outcome is not None:
+                print(
+                    f"block {produced.outcome.number}: "
+                    f"{len(produced.entries)} txs, "
+                    f"pool depth {len(mempool)}",
+                    flush=True,
+                )
+
+    async def main() -> None:
+        server = await serve_http(dispatcher, args.host, args.port)
+        print(
+            f"serving JSON-RPC on http://{args.host}:{args.port} "
+            f"(executor {args.executor}, block every "
+            f"{args.interval_us / 1e3:.0f} ms)",
+            flush=True,
+        )
+        try:
+            await produce_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    health = facade.health()
+    print(
+        f"served {service.blocks_committed} block(s), "
+        f"{service.txs_committed} tx(s); final height {health['height']}"
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .mempool import MempoolConfig
+    from .obs import format_window_line
+    from .resilience import SCENARIOS
+    from .rpc import IngressConfig, run_ingress
+
+    if args.scenario:
+        from .check import ingress_config_for
+
+        scenario = SCENARIOS[args.scenario]
+        if scenario.kind != "ingress":
+            print(
+                f"loadgen: scenario {args.scenario!r} is kind "
+                f"{scenario.kind!r}, not an ingress scenario",
+                file=sys.stderr,
+            )
+            return 2
+        config = ingress_config_for(
+            scenario, args.seed, threads=args.threads, blocks=args.blocks
+        )
+    else:
+        config = IngressConfig(
+            blocks=args.blocks,
+            txs_per_block=args.txs,
+            executor=args.executor,
+            threads=args.threads,
+            accounts=args.accounts,
+            seed=args.seed,
+            clients=args.clients,
+            rate_multiplier=args.rate,
+            spike_multiplier=args.spike,
+            read_share=args.read_share,
+            malformed_share=args.malformed_share,
+            nonce_gap_share=args.nonce_gap_share,
+            consumer_slowdown=args.slowdown,
+            mempool=MempoolConfig(capacity=args.capacity),
+        )
+
+    def progress(snapshot: dict) -> None:
+        if not args.quiet:
+            print(format_window_line(snapshot), flush=True)
+
+    report = run_ingress(config, out=args.out, progress=progress)
+    if not args.quiet:
+        print()
+    print(report.describe())
+    if args.out:
+        print(f"telemetry -> {args.out}")
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report -> {args.report_json}")
+    if not report.ok:
+        for detail in report.divergences:
+            print(f"DIVERGENCE: {detail}", file=sys.stderr)
         return 1
     return 0
 
@@ -771,6 +923,13 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot crash sites; 0 disables checkpoints)",
     )
     crashfuzz.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="also sweep the pipelined case: block N+1 executes "
+        "speculatively while N's commit crashes; recovery must land on "
+        "N's sealed (or pre-N) root, never the speculative state",
+    )
+    crashfuzz.add_argument(
         "--no-reorg",
         action="store_true",
         help="skip the reorg rollback round trip",
@@ -866,6 +1025,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the live per-window lines"
     )
     soak.set_defaults(func=_cmd_soak)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve JSON-RPC over HTTP (demo transport) with a live "
+        "block-production loop",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8545)
+    serve.add_argument(
+        "--executor", choices=sorted(RUN_EXECUTORS), default="parallelevm"
+    )
+    serve.add_argument("--threads", type=int, default=4)
+    serve.add_argument("--accounts", type=int, default=192)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--blocks",
+        type=int,
+        default=0,
+        help="stop after this many production ticks (0 = serve forever)",
+    )
+    serve.add_argument(
+        "--block-txs",
+        type=int,
+        default=24,
+        help="max transactions selected per produced block",
+    )
+    serve.add_argument(
+        "--interval-us",
+        type=float,
+        default=50_000.0,
+        help="block production interval in simulated microseconds "
+        "(also the wall-clock pacing of the demo loop)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=2048, help="mempool capacity"
+    )
+    serve.add_argument(
+        "--sender-quota",
+        type=int,
+        default=16,
+        help="max pooled transactions per sender",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the serving stack with seeded open-loop clients; "
+        "certifies conservation + serial equivalence, exits non-zero on "
+        "any divergence",
+    )
+    loadgen.add_argument("--blocks", type=int, default=40)
+    loadgen.add_argument("--txs", type=int, default=16, help="txs per block")
+    loadgen.add_argument(
+        "--executor", choices=sorted(RUN_EXECUTORS), default="parallelevm"
+    )
+    loadgen.add_argument("--threads", type=int, default=4)
+    loadgen.add_argument("--accounts", type=int, default=192)
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="offered load as a multiple of the sustainable rate",
+    )
+    loadgen.add_argument(
+        "--spike",
+        type=float,
+        default=1.0,
+        help="extra rate multiplier inside the mid-run spike window",
+    )
+    loadgen.add_argument("--read-share", type=float, default=0.15)
+    loadgen.add_argument("--malformed-share", type=float, default=0.0)
+    loadgen.add_argument("--nonce-gap-share", type=float, default=0.0)
+    loadgen.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.0,
+        help="stretch the production interval (slow-consumer regime)",
+    )
+    loadgen.add_argument(
+        "--capacity", type=int, default=2048, help="mempool capacity"
+    )
+    loadgen.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="run a catalogue ingress scenario instead of the explicit "
+        "knobs (traffic-spike, slow-consumer, malformed-storm, "
+        "nonce-gap-flood)",
+    )
+    loadgen.add_argument(
+        "--out", metavar="FILE", help="write one JSONL snapshot line per window"
+    )
+    loadgen.add_argument(
+        "--report-json", metavar="FILE", help="write the end-of-run report as JSON"
+    )
+    loadgen.add_argument(
+        "--quiet", action="store_true", help="suppress the live per-window lines"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     certify = sub.add_parser(
         "certify", help="serializability acceptance gate (fixed seed matrix)"

@@ -166,6 +166,219 @@ class ReorgDepthExceeded(DurabilityError):
         self.available = available
 
 
+class AdmissionError(ResilienceError):
+    """Base class for transaction-ingress rejections (:mod:`repro.mempool`).
+
+    Every rejection the admission layer can hand a client is a subtype with
+    a stable machine-readable :attr:`code` (what the JSON-RPC facade puts in
+    the error ``data``) and a :attr:`retryable` flag (whether resubmitting
+    the *same* transaction later can succeed).  Sitting on the resilience
+    hierarchy keeps the contract uniform: overload is a fault the system
+    degrades through, not a crash.
+    """
+
+    code = "admission"
+    retryable = False
+
+
+class MalformedTransaction(AdmissionError):
+    """The wire transaction failed structural validation (missing or
+    ill-typed fields, undecodable hex, out-of-range values)."""
+
+    code = "malformed"
+
+
+class InvalidSignature(AdmissionError):
+    """The signature field is absent or fails the shape check (65 bytes,
+    r/s in range, recovery id in {0, 1, 27, 28})."""
+
+    code = "invalid-signature"
+
+
+class WrongChainId(AdmissionError):
+    """The transaction names a chain id this service does not serve."""
+
+    code = "wrong-chain-id"
+
+    def __init__(self, got: int, expected: int) -> None:
+        super().__init__(f"chain id {got} != expected {expected}")
+        self.got = got
+        self.expected = expected
+
+
+class TransactionTooLarge(AdmissionError):
+    """The encoded transaction exceeds the wire size cap."""
+
+    code = "too-large"
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(f"transaction is {size} bytes; cap is {limit}")
+        self.size = size
+        self.limit = limit
+
+
+class IntrinsicGasTooLow(AdmissionError):
+    """``gas_limit`` cannot even cover the transaction's intrinsic gas."""
+
+    code = "intrinsic-gas"
+
+    def __init__(self, gas_limit: int, intrinsic: int) -> None:
+        super().__init__(
+            f"gas limit {gas_limit} below intrinsic gas {intrinsic}"
+        )
+        self.gas_limit = gas_limit
+        self.intrinsic = intrinsic
+
+
+class FeeTooLow(AdmissionError):
+    """The gas price is below the mempool's admission floor."""
+
+    code = "fee-too-low"
+    retryable = True
+
+    def __init__(self, gas_price: int, floor: int) -> None:
+        super().__init__(f"gas price {gas_price} below floor {floor}")
+        self.gas_price = gas_price
+        self.floor = floor
+
+
+class ReplacementUnderpriced(AdmissionError):
+    """A same-(sender, nonce) replacement did not bump the fee enough."""
+
+    code = "replacement-underpriced"
+    retryable = True
+
+    def __init__(self, gas_price: int, required: int) -> None:
+        super().__init__(
+            f"replacement gas price {gas_price} below required {required}"
+        )
+        self.gas_price = gas_price
+        self.required = required
+
+
+class NonceTooLow(AdmissionError):
+    """The transaction's nonce was already consumed on chain."""
+
+    code = "nonce-too-low"
+
+    def __init__(self, nonce: int, expected: int) -> None:
+        super().__init__(f"nonce {nonce} below account nonce {expected}")
+        self.nonce = nonce
+        self.expected = expected
+
+
+class NonceGapTooWide(AdmissionError):
+    """The nonce is too far ahead of the sender's executable sequence."""
+
+    code = "nonce-gap"
+    retryable = True
+
+    def __init__(self, nonce: int, expected: int, max_gap: int) -> None:
+        super().__init__(
+            f"nonce {nonce} leaves a gap past {expected} wider than "
+            f"the {max_gap} allowed"
+        )
+        self.nonce = nonce
+        self.expected = expected
+        self.max_gap = max_gap
+
+
+class InsufficientBalance(AdmissionError):
+    """The sender cannot cover value + gas for its pooled transactions."""
+
+    code = "insufficient-balance"
+
+    def __init__(self, required: int, available: int) -> None:
+        super().__init__(
+            f"sender needs {required} wei to cover pooled txs but "
+            f"holds {available}"
+        )
+        self.required = required
+        self.available = available
+
+
+class SenderQuotaExceeded(AdmissionError):
+    """The sender already has its full quota of transactions pooled."""
+
+    code = "sender-quota"
+    retryable = True
+
+    def __init__(self, sender_txs: int, quota: int) -> None:
+        super().__init__(f"sender has {sender_txs} pooled txs; quota {quota}")
+        self.sender_txs = sender_txs
+        self.quota = quota
+
+
+class MempoolFull(AdmissionError):
+    """The pool is at capacity and the fee does not displace anything."""
+
+    code = "mempool-full"
+    retryable = True
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(f"mempool is at capacity ({capacity} txs)")
+        self.capacity = capacity
+
+
+class BackpressureActive(AdmissionError):
+    """Queue depth crossed the high watermark; client should back off.
+
+    Carries ``retry_after_us`` — the facade's suggested delay, drawn from
+    the :class:`~repro.resilience.RecoveryPolicy` backoff schedule — which
+    the JSON-RPC layer forwards in the error ``data``.
+    """
+
+    code = "backpressure"
+    retryable = True
+
+    def __init__(self, depth: int, watermark: int, retry_after_us: float) -> None:
+        super().__init__(
+            f"mempool depth {depth} over the high watermark {watermark}; "
+            f"retry after {retry_after_us:.0f} us"
+        )
+        self.depth = depth
+        self.watermark = watermark
+        self.retry_after_us = retry_after_us
+
+
+class CircuitOpen(AdmissionError):
+    """The read-path circuit breaker is open (commit lane lagging)."""
+
+    code = "circuit-open"
+    retryable = True
+
+    def __init__(self, lag_us: float, threshold_us: float, retry_after_us: float) -> None:
+        super().__init__(
+            f"read circuit open: commit lag {lag_us:.0f} us over "
+            f"{threshold_us:.0f} us"
+        )
+        self.lag_us = lag_us
+        self.threshold_us = threshold_us
+        self.retry_after_us = retry_after_us
+
+
+class BlockValidationError(ResilienceError):
+    """An externally supplied block failed :meth:`ChainService.ingest_block`
+    validation.  The block is rejected atomically — no partial state."""
+
+
+class NonMonotonicBlock(BlockValidationError):
+    """The block's number is not the service's next height."""
+
+    def __init__(self, got: int, expected: int) -> None:
+        super().__init__(f"block number {got}; service expects {expected}")
+        self.got = got
+        self.expected = expected
+
+
+class DuplicateTransaction(BlockValidationError):
+    """The block contains a tx hash already committed (or repeated)."""
+
+    def __init__(self, tx_hash: bytes) -> None:
+        super().__init__(f"duplicate transaction {tx_hash.hex()}")
+        self.tx_hash = tx_hash
+
+
 class RedoBudgetExceeded(ResilienceError):
     """A transaction used up its per-transaction redo-attempt budget.
 

@@ -31,9 +31,12 @@ class ChaosScenario:
     ``kind`` selects the harness: ``"faults"`` (the default) certifies
     under runtime fault injection; ``"crash"`` sweeps the durable commit
     path's crash sites (:func:`repro.check.crashfuzz.crash_sweep_block`);
-    ``"reorg"`` runs the undo-preimage rollback round trip.  The non-fault
-    kinds carry an empty :class:`FaultConfig` — their adversary is process
-    death, not degraded hardware.
+    ``"reorg"`` runs the undo-preimage rollback round trip; ``"ingress"``
+    drives a seeded open-loop client fleet through the JSON-RPC facade
+    (:func:`repro.rpc.run_ingress`) with the overload knobs in
+    ``ingress``.  The non-fault kinds carry an empty
+    :class:`FaultConfig` — their adversary is process death or hostile
+    traffic, not degraded hardware.
     """
 
     name: str
@@ -41,6 +44,10 @@ class ChaosScenario:
     config: FaultConfig
     recovery_overrides: dict = field(default_factory=dict)
     kind: str = "faults"
+    # kind == "ingress" only: IngressConfig field overrides (offered-load
+    # shape, misbehaviour shares, consumer slowdown).  A plain dict keeps
+    # the resilience layer free of any rpc import.
+    ingress: dict = field(default_factory=dict)
 
 
 SCENARIOS: dict[str, ChaosScenario] = {
@@ -118,6 +125,48 @@ SCENARIOS: dict[str, ChaosScenario] = {
             "re-execution must reproduce the serial reference",
             FaultConfig(),
             kind="reorg",
+        ),
+        ChaosScenario(
+            "traffic-spike",
+            "offered load spikes to 4x the sustainable rate mid-run; "
+            "backpressure and fee-priority selection must shed gracefully "
+            "with no admitted tx lost",
+            FaultConfig(),
+            kind="ingress",
+            ingress={
+                "spike_multiplier": 4.0,
+                "mempool": {"capacity": 96, "tx_ttl_us": 400_000.0},
+            },
+        ),
+        ChaosScenario(
+            "slow-consumer",
+            "block production running 3x slower than its nominal cadence; "
+            "the commit-lag circuit breaker must shed reads and TTL "
+            "shedding must bound the queue",
+            FaultConfig(),
+            kind="ingress",
+            ingress={
+                "consumer_slowdown": 3.0,
+                "mempool": {"capacity": 64, "tx_ttl_us": 250_000.0},
+            },
+        ),
+        ChaosScenario(
+            "malformed-storm",
+            "half of all submissions are corrupted wires (bad hex, "
+            "missing fields, bogus signatures, wrong chain id); every one "
+            "must bounce off stateless validation with a typed reason",
+            FaultConfig(),
+            kind="ingress",
+            ingress={"malformed_share": 0.5},
+        ),
+        ChaosScenario(
+            "nonce-gap-flood",
+            "clients deliberately skip ahead in their nonce sequences; "
+            "the gap window and per-sender quotas must keep unexecutable "
+            "txs from colonising the pool",
+            FaultConfig(),
+            kind="ingress",
+            ingress={"nonce_gap_share": 0.35},
         ),
         ChaosScenario(
             "havoc",

@@ -12,9 +12,11 @@ the modelled hardware, not of the Python interpreter running the model.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..concurrency.base import BlockExecutor
+from ..errors import DuplicateTransaction, NonMonotonicBlock
 from ..workloads.stream import BlockStream
 
 
@@ -109,31 +111,89 @@ class ChainService:
 
     def __init__(
         self,
-        stream: BlockStream,
+        stream: BlockStream | None,
         executor: BlockExecutor,
         observer: SoakObserver | None = None,
         fault_plan_factory=None,
         pipeline=None,
+        *,
+        chain=None,
+        recent_blocks: int = 64,
     ) -> None:
+        if stream is None and chain is None:
+            raise ValueError("ChainService needs a stream or a chain")
         self.stream = stream
-        self.chain = stream.chain
-        self.world = stream.chain.world
+        self.chain = stream.chain if stream is not None else chain
+        self.world = self.chain.world
         self.executor = executor
         self.observer = observer
         self.fault_plan_factory = fault_plan_factory
         self.pipeline = pipeline
         # The executor's own recovery policy, restored on plan-less blocks.
         self._default_recovery = executor.recovery
-        self.height = self.stream.spec.start_block
+        self.height = (
+            self.stream.spec.start_block
+            if self.stream is not None
+            else self.chain.env.number
+        )
         self.sim_time_us = 0.0
         self.blocks_committed = 0
         self.txs_committed = 0
         self.gas_used = 0
+        self.last_result = None
+        # Tx hashes of recently ingested blocks, for duplicate rejection on
+        # the external-ingest path.  The stream path never computes hashes,
+        # so its makespans and telemetry stay bit-identical.
+        self._recent_tx_hashes: deque[frozenset[bytes]] = deque(
+            maxlen=recent_blocks
+        )
+
+    def ingest_block(self, block, tx_hashes=None) -> BlockOutcome:
+        """Validate, execute and commit an externally supplied block.
+
+        Unlike :meth:`run_block` — whose blocks come from the service's own
+        deterministic stream and are trusted by construction — an ingested
+        block is checked before it touches state:
+
+        * ``block.number`` must be exactly the service's next height
+          (:class:`~repro.errors.NonMonotonicBlock` otherwise), and
+        * no transaction hash may repeat, within the block or against the
+          last ``recent_blocks`` ingested blocks
+          (:class:`~repro.errors.DuplicateTransaction`).
+
+        ``tx_hashes`` (optional) supplies precomputed hashes in tx order —
+        the mempool already paid for them at admission; without it they are
+        computed here.  Rejection is atomic: a failed check leaves height,
+        state and telemetry untouched.
+        """
+        if block.number != self.height:
+            raise NonMonotonicBlock(block.number, self.height)
+        if tx_hashes is None:
+            from ..mempool.admission import transaction_hash
+
+            tx_hashes = [transaction_hash(tx) for tx in block.txs]
+        seen: set[bytes] = set()
+        for tx_hash in tx_hashes:
+            if tx_hash in seen:
+                raise DuplicateTransaction(tx_hash)
+            seen.add(tx_hash)
+        for committed in self._recent_tx_hashes:
+            duplicates = seen & committed
+            if duplicates:
+                raise DuplicateTransaction(min(duplicates))
+        outcome = self._execute_and_commit(block)
+        self._recent_tx_hashes.append(frozenset(seen))
+        return outcome
 
     def run_block(self) -> BlockOutcome:
         """Generate, execute and commit the next block of the stream."""
+        if self.stream is None:
+            raise ValueError("service has no stream; use ingest_block")
+        block = self.stream.block(self.height)
+        return self._execute_and_commit(block)
+
+    def _execute_and_commit(self, block) -> BlockOutcome:
         number = self.height
-        block = self.stream.block(number)
         pipeline = self.pipeline
         if pipeline is not None:
             # Warm the block's statically-predicted read set before it
@@ -152,6 +212,9 @@ class ChainService:
             )
         result = executor.execute_block(self.world, block.txs, block.env)
         commit_us = executor.commit_block(self.world, number, result)
+        # The facade reads per-tx results (receipts) off the last commit;
+        # keeping the reference costs nothing on the stream path.
+        self.last_result = result
         if pipeline is not None:
             # Only a durable commit has a reader-visible publish phase;
             # a memory-only commit's writes are published by the per-tx

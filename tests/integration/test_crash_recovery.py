@@ -74,6 +74,45 @@ class TestCrashSweep:
         assert cert.tx_count == len(block.txs)
 
 
+class TestPipelinedCrashSweep:
+    def test_speculative_state_never_survives_a_crash(self, fuzzer, block):
+        # ISSUE 8: with block N+1 executing speculatively against N's
+        # uncommitted overlay, a crash anywhere in N's commit must recover
+        # to exactly pre-N or N's sealed state — never the speculative
+        # overlay — and the resumed chain must match the serial reference.
+        from repro.check import pipelined_crash_sweep_block
+
+        metrics = MetricsRegistry()
+        report = pipelined_crash_sweep_block(
+            fuzzer.chain, block, threads=4, metrics=metrics
+        )
+        assert report.ok, report.describe()
+        sites = enumerate_crash_sites(len(block.txs) // 2, checkpoint=False)
+        assert report.sites == sites
+        expected = len(sites) * len(CRASH_EXECUTORS)
+        assert report.crashes_injected == expected
+        assert report.recoveries == expected
+        # Pre-marker crashes discard the speculation; post-marker crashes
+        # salvage it.  Together they cover every (site, executor) pair.
+        assert report.speculations_discarded + report.speculations_salvaged == expected
+        assert report.speculations_discarded > 0
+        assert report.speculations_salvaged > 0
+        assert metrics.value("crashfuzz_pipeline_blocks_total") == 1
+        assert metrics.value("crashfuzz_failed_pipeline_blocks_total") is None
+
+    def test_pipelined_sweep_needs_two_transactions(self, fuzzer, block):
+        from dataclasses import replace
+
+        from repro.check import pipelined_crash_sweep_block
+        from repro.workloads import Block
+
+        tiny = Block(
+            number=block.number, txs=[replace(block.txs[0])], env=block.env
+        )
+        with pytest.raises(ValueError):
+            pipelined_crash_sweep_block(fuzzer.chain, tiny, threads=4)
+
+
 class TestReorgRoundTrip:
     def test_rollback_and_fork_match_serial_references(self, fuzzer, block):
         metrics = MetricsRegistry()

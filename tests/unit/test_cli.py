@@ -75,8 +75,55 @@ class TestParser:
         assert args.seed == 0
         assert args.blocks == 2
         assert args.checkpoint_interval == 1
+        assert not args.pipeline
         assert not args.no_reorg
         assert args.dump is None
+
+    def test_crashfuzz_pipeline_flag(self):
+        args = build_parser().parse_args(["crashfuzz", "--pipeline"])
+        assert args.pipeline
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8545
+        assert args.executor == "parallelevm"
+        assert args.blocks == 0
+        assert args.block_txs == 24
+        assert args.interval_us == 50_000.0
+        assert args.capacity == 2048
+        assert args.sender_quota == 16
+
+    def test_serve_validates_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "nonsense"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.blocks == 40
+        assert args.executor == "parallelevm"
+        assert args.rate == 1.0
+        assert args.spike == 1.0
+        assert args.slowdown == 1.0
+        assert args.scenario is None
+        assert args.out is None
+        assert args.report_json is None
+        assert not args.quiet
+
+    def test_loadgen_knobs_parse(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen", "--scenario", "traffic-spike", "--blocks", "12",
+                "--seed", "7", "--out", "t.jsonl", "--report-json", "r.json",
+                "--quiet",
+            ]
+        )
+        assert args.scenario == "traffic-spike"
+        assert args.blocks == 12
+        assert args.seed == 7
+        assert args.out == "t.jsonl"
+        assert args.report_json == "r.json"
+        assert args.quiet
 
     def test_soak_defaults(self):
         args = build_parser().parse_args(["soak"])
@@ -270,3 +317,43 @@ class TestCommands:
         assert "atomic at every site" in out
         assert "reorg round trip" in out
         assert "Durability summary" in out
+
+    def test_crashfuzz_pipeline(self, capsys):
+        argv = [
+            "crashfuzz", "--seed", "0", "--blocks", "1", "--txs", "6",
+            "--threads", "4", "--pipeline", "--no-reorg",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pipelined crash sweep" in out
+        assert "no speculative state survived" in out
+
+    def test_loadgen_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "ingress.jsonl"
+        report_path = tmp_path / "ingress.json"
+        argv = [
+            "loadgen",
+            "--blocks", "8",
+            "--txs", "8",
+            "--accounts", "64",
+            "--clients", "4",
+            "--threads", "4",
+            "--seed", "2",
+            "--quiet",
+            "--out", str(out_path),
+            "--report-json", str(report_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "certified: conservation + serial equivalence" in out
+        report = json.loads(report_path.read_text())
+        assert report["blocks_committed"] > 0
+        assert not report["divergences"]
+        for line in out_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_loadgen_rejects_non_ingress_scenarios(self, capsys):
+        assert main(["loadgen", "--scenario", "havoc", "--quiet"]) == 2
+        assert "not an ingress scenario" in capsys.readouterr().err
