@@ -679,8 +679,11 @@ def run_ingress_overload(
     from ..mempool import MempoolConfig
     from ..rpc import IngressConfig, run_ingress
 
+    from ..obs.lifecycle import WATERFALL_PHASES
+
     rates = [0.8, 1.5, 2.5, 4.0]
     rows = []
+    waterfall_rows = []
     data: dict[str, dict] = {}
     for rate in rates:
         report = run_ingress(
@@ -708,6 +711,8 @@ def run_ingress_overload(
         shed = sum(report.shed.values())
         rejected = sum(report.rejected.values())
         label = f"{rate:.1f}x"
+        blame = report.lifecycle["blame"]
+        latency = blame["latency_us"]
         data[label] = {
             "submitted": report.submitted,
             "admitted": report.admitted,
@@ -717,7 +722,24 @@ def run_ingress_overload(
             "rejected": rejected,
             "backpressure_events": report.backpressure_events,
             "retries": report.retries,
+            "latency_p50_us": latency["p50"],
+            "latency_p99_us": latency["p99"],
+            "waterfall_p99_us": {
+                name: blame["phases"][name]["p99"]
+                for name in WATERFALL_PHASES
+            },
+            "slo_alerts": report.slo["alerts"],
         }
+
+        def _p(stats: dict, name: str) -> str:
+            value = stats[name]
+            return "-" if value is None else f"{value:.0f}"
+
+        waterfall_rows.append(
+            [label]
+            + [_p(blame["phases"][name], "p99") for name in WATERFALL_PHASES]
+            + [_p(latency, "p99")]
+        )
         rows.append(
             [
                 label,
@@ -743,5 +765,10 @@ def run_ingress_overload(
             "backpressure",
         ],
         rows,
+    )
+    rendered += "\n\n" + render_table(
+        "Latency waterfall at p99 (simulated us, committed txs)",
+        ["offered", *WATERFALL_PHASES, "client p99"],
+        waterfall_rows,
     )
     return ExperimentResult("ingress_overload", data, rendered)

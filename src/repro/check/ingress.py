@@ -112,6 +112,10 @@ def run_ingress_scenario(
         "reads_shed": float(report.reads_shed),
         "retries": float(report.retries),
         "circuit_opened": float(report.circuit_opened),
+        "slo_alerts": float(report.slo["alerts"] if report.slo else 0),
+        "flight_dumps": float(
+            len(report.flight["dumps"]) if report.flight else 0
+        ),
     }
     if metrics is not None:
         metrics.counter("chaos_blocks_total", scenario=scenario.name).inc()

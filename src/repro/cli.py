@@ -521,6 +521,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     from .service import SoakConfig, run_soak
     from .obs import format_window_line
 
+    slo_config = None
+    if args.slo_objective_us is not None:
+        from .obs import SloConfig
+
+        slo_config = SloConfig(latency_objective_us=args.slo_objective_us)
     config = SoakConfig(
         blocks=args.blocks,
         window_blocks=args.window,
@@ -539,6 +544,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         prefetch=not args.no_prefetch,
         async_commit=not args.no_async_commit,
         prefetch_io_depth=args.prefetch_io_depth,
+        loadgen_clients=args.loadgen,
+        block_interval_us=args.interval_us,
+        rate_multiplier=args.rate,
+        lifecycle=not args.no_lifecycle,
+        slo_config=slo_config,
     )
 
     def progress(snapshot: dict) -> None:
@@ -682,20 +692,48 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             mempool=MempoolConfig(capacity=args.capacity),
         )
 
+    if args.no_lifecycle:
+        config.lifecycle = False
+    if args.slo_objective_us is not None:
+        from .obs import SloConfig
+
+        config.slo = SloConfig(latency_objective_us=args.slo_objective_us)
+
     def progress(snapshot: dict) -> None:
         if not args.quiet:
             print(format_window_line(snapshot), flush=True)
 
-    report = run_ingress(config, out=args.out, progress=progress)
+    report = run_ingress(
+        config,
+        out=args.out,
+        progress=progress,
+        waterfalls=args.waterfalls,
+        trace_out=args.trace,
+    )
     if not args.quiet:
         print()
     print(report.describe())
     if args.out:
         print(f"telemetry -> {args.out}")
+    if args.waterfalls:
+        print(f"waterfalls -> {args.waterfalls}")
+    if args.trace:
+        print(f"serving-lane trace -> {args.trace}")
     if args.report_json:
         with open(args.report_json, "w") as fh:
             fh.write(report.to_json())
         print(f"report -> {args.report_json}")
+    if args.flight_dump:
+        import json as json_module
+
+        with open(args.flight_dump, "w") as fh:
+            fh.write(
+                json_module.dumps(
+                    report.flight or {}, sort_keys=True, indent=2
+                )
+                + "\n"
+            )
+        print(f"flight recorder -> {args.flight_dump}")
     if not report.ok:
         for detail in report.divergences:
             print(f"DIVERGENCE: {detail}", file=sys.stderr)
@@ -1016,6 +1054,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel reads the prefetcher keeps in flight",
     )
     soak.add_argument(
+        "--loadgen",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drive the service through the RPC stack with N open-loop "
+        "clients instead of the trusted block stream (0 = stream mode)",
+    )
+    soak.add_argument(
+        "--interval-us",
+        type=float,
+        default=50_000.0,
+        help="with --loadgen: block production interval in simulated us",
+    )
+    soak.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="with --loadgen: offered load over the sustainable rate",
+    )
+    soak.add_argument(
+        "--no-lifecycle",
+        action="store_true",
+        help="with --loadgen: disable per-tx lifecycle tracing",
+    )
+    soak.add_argument(
+        "--slo-objective-us",
+        type=float,
+        default=None,
+        help="latency SLO objective in simulated us (per tx with "
+        "--loadgen, per block in stream mode)",
+    )
+    soak.add_argument(
         "--out", metavar="FILE", help="write one JSONL snapshot line per window"
     )
     soak.add_argument(
@@ -1117,6 +1187,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--out", metavar="FILE", help="write one JSONL snapshot line per window"
+    )
+    loadgen.add_argument(
+        "--waterfalls",
+        metavar="FILE",
+        help="write one JSONL latency waterfall per terminal transaction",
+    )
+    loadgen.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace of the serving lanes (admission, queue, "
+        "execute, ...) plus mempool-depth / circuit counter tracks",
+    )
+    loadgen.add_argument(
+        "--flight-dump",
+        metavar="FILE",
+        help="write the flight-recorder ring dumps (incident snapshots)",
+    )
+    loadgen.add_argument(
+        "--no-lifecycle",
+        action="store_true",
+        help="disable per-tx lifecycle tracing (also disables --waterfalls, "
+        "--trace and --flight-dump)",
+    )
+    loadgen.add_argument(
+        "--slo-objective-us",
+        type=float,
+        default=None,
+        help="per-tx latency SLO objective in simulated microseconds",
     )
     loadgen.add_argument(
         "--report-json", metavar="FILE", help="write the end-of-run report as JSON"

@@ -25,7 +25,18 @@ from .attribution import (
     SlotAttribution,
     attribution_table,
     collect_attribution,
+    collect_serving_attribution,
     contract_attribution_table,
+    hot_sender_table,
+)
+from .lifecycle import (
+    WATERFALL_PHASES,
+    FlightRecorder,
+    LifecycleReport,
+    LifecycleTracker,
+    SloConfig,
+    SloMonitor,
+    TxLifecycle,
 )
 from .critical_path import (
     BlameSegment,
@@ -69,19 +80,27 @@ __all__ = [
     "CounterSample",
     "CriticalPathReport",
     "DependencyEdge",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LifecycleReport",
+    "LifecycleTracker",
     "LogHistogram",
     "MetricsRegistry",
     "Observer",
+    "SloConfig",
+    "SloMonitor",
     "SlotAttribution",
     "SoakTelemetry",
     "Span",
     "TraceRecorder",
+    "TxLifecycle",
+    "WATERFALL_PHASES",
     "attribution_table",
     "blamed_txs_table",
     "certification_table",
     "collect_attribution",
+    "collect_serving_attribution",
     "commit_point_stall_us",
     "conflict_heatmap_table",
     "contract_attribution_table",
@@ -90,6 +109,7 @@ __all__ = [
     "degradation_table",
     "format_window_line",
     "durability_table",
+    "hot_sender_table",
     "phase_breakdown_table",
     "redo_slice_table",
     "render_block_report",

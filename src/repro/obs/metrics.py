@@ -26,6 +26,10 @@ from typing import Iterator, Sequence
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: The label value every folded series lands on once a series name hits
+#: its cardinality limit (see ``MetricsRegistry(label_limit=...)``).
+OVERFLOW_LABEL = "(overflow)"
+
 
 def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -122,12 +126,29 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Holds every metric series of one instrumented run, keyed by labels."""
+    """Holds every metric series of one instrumented run, keyed by labels.
 
-    def __init__(self) -> None:
+    ``label_limit`` (optional) bounds the number of *distinct label sets*
+    each series name may hold; once a name is at its limit, further label
+    sets fold into one explicit overflow series whose every label value is
+    :data:`OVERFLOW_LABEL`.  This is the cardinality guard for per-sender
+    and per-key series under 100k-account streams: memory stays O(limit)
+    per name, the folded totals stay correct, and the overflow series
+    makes the truncation visible instead of silent.  ``None`` (default)
+    keeps the registry unbounded — existing callers are byte-identical.
+    """
+
+    def __init__(self, label_limit: int | None = None) -> None:
+        if label_limit is not None and label_limit <= 0:
+            raise ValueError("label_limit must be positive (or None)")
+        self.label_limit = label_limit
         self._series: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
         # Per-series baseline of the previous window_snapshot() call.
         self._window_base: dict[tuple[str, LabelKey], object] = {}
+        # Distinct non-overflow label sets per series name, and how many
+        # creations each name has folded into its overflow series.
+        self._label_counts: dict[str, int] = {}
+        self._overflow: dict[str, int] = {}
 
     # ------------------------------------------------------------ creation
 
@@ -146,7 +167,24 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         metric = self._series.get(key)
         if metric is None:
-            metric = self._series[key] = factory()
+            # Creation path only: the hot path (series exists) pays one
+            # dict lookup exactly as before the cardinality guard.
+            if (
+                self.label_limit is not None
+                and labels
+                and self._label_counts.get(name, 0) >= self.label_limit
+            ):
+                self._overflow[name] = self._overflow.get(name, 0) + 1
+                key = (name, tuple((k, OVERFLOW_LABEL) for k in sorted(labels)))
+                metric = self._series.get(key)
+                if metric is None:
+                    metric = self._series[key] = factory()
+            else:
+                if labels:
+                    self._label_counts[name] = (
+                        self._label_counts.get(name, 0) + 1
+                    )
+                metric = self._series[key] = factory()
         elif type(metric) is not kind:
             raise TypeError(
                 f"metric {name!r} already registered as {type(metric).__name__}"
@@ -154,6 +192,10 @@ class MetricsRegistry:
         return metric
 
     # ------------------------------------------------------------- reading
+
+    def overflow_counts(self) -> dict[str, int]:
+        """``series-name -> creations folded into its overflow bucket``."""
+        return dict(sorted(self._overflow.items()))
 
     def __len__(self) -> int:
         return len(self._series)

@@ -233,12 +233,20 @@ class SoakTelemetry:
         window_blocks: int = 50,
         registry: MetricsRegistry | None = None,
         db=None,
+        lifecycle=None,
+        slo=None,
     ) -> None:
         if window_blocks <= 0:
             raise ValueError("window_blocks must be positive")
         self.window_blocks = window_blocks
         self.registry = registry
         self.db = db
+        # Optional serving-plane sections (repro.obs.lifecycle): a
+        # LifecycleTracker contributes per-window waterfall-phase sketches,
+        # an SloMonitor its burn-rate section — this is how loadgen
+        # (overload) and soak (long-run) telemetry compose in one stream.
+        self.lifecycle = lifecycle
+        self.slo = slo
         self.window = _WindowAccumulator()
         self.total = _WindowAccumulator()
         self.windows_emitted = 0
@@ -359,6 +367,10 @@ class SoakTelemetry:
         counters = self._counters_section()
         if counters is not None:
             snapshot["counters"] = counters
+        if self.lifecycle is not None:
+            snapshot["lifecycle"] = self.lifecycle.window_section()
+        if self.slo is not None:
+            snapshot["slo"] = self.slo.section()
         self.windows_emitted += 1
         self.window = _WindowAccumulator()
         self._window_first_block = None

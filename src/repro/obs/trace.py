@@ -165,18 +165,26 @@ class TraceRecorder:
 
     # ------------------------------------------------------------- export
 
-    def to_chrome_trace(self, process_name: str = "repro") -> dict:
+    def to_chrome_trace(
+        self,
+        process_name: str = "repro",
+        thread_names: dict[int, str] | None = None,
+    ) -> dict:
         """The trace as a Chrome trace-event JSON object.
 
         Uses complete events (``"ph": "X"``) — one per span — with the
         simulated worker as the thread id, plus metadata events naming the
         process and threads so Perfetto renders labelled rows, plus counter
         events (``"ph": "C"``): a busy-worker series derived from the spans
-        and any scheduler-reported counters (ready-queue depth), so
-        utilization renders alongside the per-worker span rows.
+        and any scheduler-reported counters (ready-queue depth, mempool
+        depth, circuit state), so utilization renders alongside the
+        per-worker span rows.
 
-        Byte-determinism is preserved: every event is a pure function of
-        the recorded simulated-time data, and serialisation sorts keys.
+        ``thread_names`` (optional) overrides the default ``worker N``
+        row labels — the serving-lane export names its lanes after
+        lifecycle phases this way.  Byte-determinism is preserved: every
+        event is a pure function of the recorded simulated-time data, and
+        serialisation sorts keys.
         """
         events: list[dict] = [
             {
@@ -188,13 +196,16 @@ class TraceRecorder:
             }
         ]
         for worker_id in sorted({span.worker_id for span in self.spans}):
+            label = f"worker {worker_id}"
+            if thread_names is not None:
+                label = thread_names.get(worker_id, label)
             events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
                     "pid": 0,
                     "tid": worker_id,
-                    "args": {"name": f"worker {worker_id}"},
+                    "args": {"name": label},
                 }
             )
         for span in self.spans:
@@ -237,12 +248,23 @@ class TraceRecorder:
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def to_chrome_json(self, process_name: str = "repro") -> str:
-        return json.dumps(self.to_chrome_trace(process_name), sort_keys=True)
+    def to_chrome_json(
+        self,
+        process_name: str = "repro",
+        thread_names: dict[int, str] | None = None,
+    ) -> str:
+        return json.dumps(
+            self.to_chrome_trace(process_name, thread_names), sort_keys=True
+        )
 
-    def write_chrome_trace(self, path: str, process_name: str = "repro") -> None:
+    def write_chrome_trace(
+        self,
+        path: str,
+        process_name: str = "repro",
+        thread_names: dict[int, str] | None = None,
+    ) -> None:
         with open(path, "w") as fh:
-            fh.write(self.to_chrome_json(process_name))
+            fh.write(self.to_chrome_json(process_name, thread_names))
             fh.write("\n")
 
 

@@ -82,12 +82,17 @@ class RpcFacade:
         config: RpcConfig | None = None,
         policy: RecoveryPolicy | None = None,
         metrics=None,
+        lifecycle=None,
     ) -> None:
         self.service = service
         self.mempool = mempool
         self.config = config or RpcConfig()
         self.policy = policy or ingress_backoff_policy()
         self.metrics = metrics
+        # Optional per-tx lifecycle tracker (repro.obs.lifecycle).  Every
+        # call site is None-guarded: a facade without one executes the
+        # pre-lifecycle code path exactly.
+        self.lifecycle = lifecycle
         self.chain_id = service.chain.env.chain_id
         self.commit_lag_us = 0.0
         self.circuit_open = False
@@ -114,7 +119,7 @@ class RpcFacade:
         level = min(self._pressure_streak, self.config.max_backoff_level)
         return self.policy.backoff_us(level)
 
-    def _check_backpressure(self) -> None:
+    def _check_backpressure(self, now_us: float = 0.0) -> None:
         pool = self.mempool
         if self.backpressure_active:
             if pool.under_low_watermark:
@@ -127,6 +132,10 @@ class RpcFacade:
         elif pool.over_high_watermark:
             self.backpressure_active = True
             self._count("rpc_backpressure_total")
+            if self.lifecycle is not None:
+                # The activation edge only — each rejection under sustained
+                # pressure is already counted per-reason.
+                self.lifecycle.on_incident("backpressure", now_us)
             raise BackpressureActive(
                 len(pool), pool.config.high_depth, self.retry_after_us()
             )
@@ -170,6 +179,8 @@ class RpcFacade:
         elif self.commit_lag_us >= self.config.circuit_open_lag_us:
             self.circuit_open = True
             self._count("rpc_circuit_opened_total")
+            if self.lifecycle is not None:
+                self.lifecycle.on_incident("circuit-open", now_us)
         if self.metrics is not None:
             self.metrics.gauge("rpc_commit_lag_us").set(self.commit_lag_us)
 
@@ -181,7 +192,13 @@ class RpcFacade:
         Raises a typed :class:`AdmissionError` subtype on any rejection;
         the dispatcher maps it onto the JSON-RPC error envelope.
         """
-        self._check_backpressure()
+        lifecycle = self.lifecycle
+        try:
+            self._check_backpressure(now_us)
+        except BackpressureActive as exc:
+            if lifecycle is not None:
+                lifecycle.on_rejected(exc.code, now_us, retryable=exc.retryable)
+            raise
         try:
             tx = decode_wire_transaction(
                 params,
@@ -191,14 +208,25 @@ class RpcFacade:
             )
         except AdmissionError as exc:
             self._count("rpc_rejected_total", reason=exc.code)
+            if lifecycle is not None:
+                lifecycle.on_rejected(exc.code, now_us, retryable=exc.retryable)
             raise
         tx_hash = transaction_hash(tx)
         try:
             self.mempool.add(tx, tx_hash, now_us)
         except AdmissionError as exc:
             self._count("rpc_rejected_total", reason=exc.code)
+            if lifecycle is not None:
+                lifecycle.on_rejected(exc.code, now_us, retryable=exc.retryable)
             raise
         self._count("rpc_admitted_total")
+        if lifecycle is not None:
+            lifecycle.on_admitted(
+                "0x" + tx_hash.hex(),
+                "0x" + tx.sender.hex(),
+                now_us,
+                queue_depth=len(self.mempool) - 1,
+            )
         return {"tx_hash": "0x" + tx_hash.hex()}
 
     # -- read path -----------------------------------------------------
@@ -260,9 +288,12 @@ class RpcFacade:
         outcome is ``None`` and the tick only drains the lag integrator
         (an idle service catches its commit lane up).
         """
+        lifecycle = self.lifecycle
         shed = self.mempool.shed_expired(now_us)
         for entry in shed:
             self._count("rpc_shed_total", reason="expired")
+            if lifecycle is not None:
+                lifecycle.on_shed("0x" + entry.tx_hash.hex(), "expired", now_us)
         service = self.service
         entries = self.mempool.select(
             self.config.block_txs, service.chain.env.gas_limit
@@ -271,6 +302,8 @@ class RpcFacade:
             self._account_lag(now_us, 0.0)
             if not self.backpressure_active:
                 self._pressure_streak = 0
+            if lifecycle is not None:
+                lifecycle.sample_gauges(now_us, len(self.mempool), self.circuit_open)
             return ProducedBlock(None, [], shed, [])
         block = Block(
             number=service.height,
@@ -287,6 +320,12 @@ class RpcFacade:
         stale = self.mempool.drop_stale()
         for entry in stale:
             self._count("rpc_shed_total", reason="stale-nonce")
+            if lifecycle is not None:
+                lifecycle.on_shed(
+                    "0x" + entry.tx_hash.hex(), "stale-nonce", now_us
+                )
+        if lifecycle is not None:
+            lifecycle.on_block(entries, now_us, outcome)
         self._account_lag(now_us, outcome.service_advance_us)
         if self.backpressure_active and not self.mempool.under_low_watermark:
             self._pressure_streak += 1
@@ -294,6 +333,8 @@ class RpcFacade:
             self._pressure_streak = 0
         self._count("rpc_blocks_total")
         self._count("rpc_txs_committed_total", len(entries))
+        if lifecycle is not None:
+            lifecycle.sample_gauges(now_us, len(self.mempool), self.circuit_open)
         return ProducedBlock(outcome, entries, shed, stale)
 
     def _index_block(self, block: Block, entries, outcome) -> None:

@@ -28,6 +28,14 @@ from dataclasses import asdict, dataclass, field
 
 from ..bench.suite import EXECUTOR_FACTORIES
 from ..mempool.pool import Mempool, MempoolConfig
+from ..obs.lifecycle import (
+    DEGRADATION_COUNTERS,
+    FlightRecorder,
+    LifecycleReport,
+    LifecycleTracker,
+    SloConfig,
+    SloMonitor,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.streaming import SoakTelemetry
 from ..service.chain_service import ChainService, SoakObserver
@@ -80,6 +88,20 @@ class IngressConfig:
     # tested guarantee): a chaos scenario name, or an explicit FaultConfig.
     scenario: str | None = None
     fault_config: object | None = None
+    # Overlap prefetch/execution/commit across served blocks
+    # (repro.pipeline); block latency then includes lane stalls, which the
+    # lifecycle waterfall charges to the commit phase.
+    pipeline: bool = False
+    # Per-tx lifecycle tracing (repro.obs.lifecycle).  On by default: the
+    # tracker observes, it never touches the simulated clock, so makespans
+    # and committed state are identical either way (tested).  ``slo``
+    # (a SloConfig) defaults to the stock objectives; ``slow_threshold_us``
+    # defaults to the SLO latency objective.
+    lifecycle: bool = True
+    slo: SloConfig | None = None
+    slow_threshold_us: float | None = None
+    flight_capacity: int = 128
+    label_limit: int | None = 512
 
     def client_spec(self) -> ClientSpec:
         sustainable_tps = self.txs_per_block / (self.block_interval_us / 1e6)
@@ -122,6 +144,9 @@ class IngressReport:
     divergences: list = field(default_factory=list)
     summary: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    lifecycle: dict | None = None
+    slo: dict | None = None
+    flight: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -150,6 +175,23 @@ class IngressReport:
             f"{self.retries} retries · {self.gave_up} gave up · "
             f"circuit opened {self.circuit_opened}x",
         ]
+        if self.lifecycle is not None:
+            lines.append(LifecycleReport.from_dict(self.lifecycle).describe())
+        if self.slo is not None:
+            latency = self.slo["latency"]
+            errors = self.slo["errors"]
+            lines.append(
+                f"  slo         latency burn {latency['total_burn']:.2f}x "
+                f"({latency['bad']}/{latency['total']} over "
+                f"{latency['objective_us']:.0f} us) · error burn "
+                f"{errors['total_burn']:.2f}x · {self.slo['alerts']} alert(s)"
+            )
+        if self.flight is not None and self.flight["triggered"]:
+            lines.append(
+                f"  flight      {self.flight['triggered']} incident(s) · "
+                f"{len(self.flight['dumps'])} dump(s) retained "
+                f"(ring {self.flight['capacity']})"
+            )
         if self.divergences:
             lines.append("  DIVERGENCES:")
             lines.extend(f"    - {d}" for d in self.divergences)
@@ -191,8 +233,21 @@ def _fault_plan_factory(config: IngressConfig):
     return factory
 
 
-def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport:
-    """Run one ingress session; stream JSONL windows to ``out``."""
+def run_ingress(
+    config: IngressConfig,
+    out=None,
+    progress=None,
+    waterfalls=None,
+    trace_out=None,
+) -> IngressReport:
+    """Run one ingress session; stream JSONL windows to ``out``.
+
+    ``waterfalls`` (path or file) streams one JSONL line per terminal
+    transaction — the full latency waterfall.  ``trace_out`` (path)
+    additionally records serving-lane spans and writes a Chrome trace at
+    the end of the run; it implies span retention, so keep it to short
+    sessions.  Both require ``config.lifecycle``.
+    """
     chain = build_chain(
         ChainSpec(
             accounts=config.accounts,
@@ -203,17 +258,53 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
         )
     )
     genesis = chain.world.clone()
-    registry = MetricsRegistry()
+    registry = MetricsRegistry(label_limit=config.label_limit)
     observer = SoakObserver(metrics=registry)
     executor = EXECUTOR_FACTORIES[config.executor](config.threads, observer)
+    pipeline = None
+    if config.pipeline:
+        from ..pipeline import PipelineConfig, PipelineCoordinator
+
+        pipeline = PipelineCoordinator(PipelineConfig(), metrics=registry)
     service = ChainService(
         None,
         executor,
         observer=observer,
         fault_plan_factory=_fault_plan_factory(config),
+        pipeline=pipeline,
         chain=chain,
     )
     mempool = Mempool(config.mempool, chain.world, metrics=registry)
+
+    tracker = slo = recorder = None
+    waterfall_opened = waterfall_sink = None
+    if config.lifecycle:
+        recorder = FlightRecorder(capacity=config.flight_capacity)
+        slo_config = config.slo or SloConfig()
+        # An SLO alert is itself an incident: snapshot the flight ring at
+        # the close of the offending window so the dump carries the txs
+        # that burned the budget.
+        slo = SloMonitor(
+            slo_config,
+            metrics=registry,
+            on_alert=lambda alert: recorder.trigger(
+                f"slo:{alert['objective']}",
+                (alert["window"] + 1) * slo_config.window_us,
+            ),
+        )
+        if waterfalls is not None:
+            waterfall_sink = waterfalls
+            if isinstance(waterfalls, str):
+                waterfall_opened = waterfall_sink = open(waterfalls, "w")
+        tracker = LifecycleTracker(
+            metrics=registry,
+            slo=slo,
+            recorder=recorder,
+            slow_threshold_us=config.slow_threshold_us,
+            trace=trace_out is not None,
+            sink=waterfall_sink,
+        )
+
     facade = RpcFacade(
         service,
         mempool,
@@ -225,6 +316,7 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
             record_blocks=True,
         ),
         metrics=registry,
+        lifecycle=tracker,
     )
     transport = SimTransport(RpcDispatcher(facade, metrics=registry))
     policy = ingress_backoff_policy()
@@ -232,7 +324,10 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
         config.client_spec(), chain.accounts, policy, chain.env.chain_id
     )
     telemetry = SoakTelemetry(
-        window_blocks=config.window_blocks, registry=registry
+        window_blocks=config.window_blocks,
+        registry=registry,
+        lifecycle=tracker,
+        slo=slo,
     )
 
     # -- the merged event loop ------------------------------------------
@@ -261,7 +356,9 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
     divergences: list[str] = []
     ticks = 0
 
-    def serve(client, request: dict, now_us: float, attempt: int) -> None:
+    def serve(
+        client, request: dict, now_us: float, attempt: int, first_us: float
+    ) -> None:
         nonlocal reads_ok, reads_shed, backpressure_events
         response = transport.request(request, now_us)
         error = response.get("error")
@@ -271,6 +368,11 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
                 tx_hash = response["result"]["tx_hash"]
                 admitted_at[tx_hash] = now_us
                 client.note_accepted(tx_hash)
+                if tracker is not None and attempt > 0:
+                    # The facade saw only the successful attempt; backdate
+                    # the lifecycle to the first submission so the retry
+                    # segment of the waterfall carries the backoff time.
+                    tracker.note_submission(tx_hash, first_us, attempt + 1)
             else:
                 reads_ok += 1
             return
@@ -287,7 +389,11 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
                 attempt, data.get("retry_after_us", 0.0)
             )
             if delay is not None:
-                push(now_us + delay, "retry", (client, request, attempt + 1))
+                push(
+                    now_us + delay,
+                    "retry",
+                    (client, request, attempt + 1, first_us),
+                )
 
     def record_block(produced, now_us: float) -> None:
         outcome = produced.outcome
@@ -330,32 +436,55 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
             if progress is not None:
                 progress(snapshot)
 
+        # Degradation watch: the four resilience fallback counters, read
+        # as per-tick deltas; any increase snapshots the flight ring.
+        degradation_seen = {
+            name: registry.sum_by_name(name) for name in DEGRADATION_COUNTERS
+        }
+        last_now = 0.0
         while events:
             now_us, _, kind, payload = heapq.heappop(events)
+            last_now = max(last_now, now_us)
             if kind == "tick":
                 ticks += 1
                 record_block(facade.produce_block(now_us), now_us)
+                if recorder is not None:
+                    for name in DEGRADATION_COUNTERS:
+                        total = registry.sum_by_name(name)
+                        if total > degradation_seen[name]:
+                            recorder.trigger(f"degradation:{name}", now_us)
+                        degradation_seen[name] = total
                 if ticks < config.blocks:
                     push(now_us + interval, "tick", None)
             elif kind == "arrival":
                 client = payload
                 if now_us < horizon_us:
-                    serve(client, client.make_request(now_us), now_us, 0)
+                    serve(client, client.make_request(now_us), now_us, 0, now_us)
                     nxt = client.next_arrival(now_us)
                     if nxt < horizon_us:
                         push(nxt, "arrival", client)
             else:  # retry
-                client, request, attempt = payload
+                client, request, attempt, first_us = payload
                 if now_us < horizon_us:
-                    serve(client, request, now_us, attempt)
+                    serve(client, request, now_us, attempt, first_us)
             if ticks >= config.blocks:
                 break
+        if slo is not None:
+            slo.finalize(last_now)
         tail = telemetry.finish()
         if tail is not None:
             emit(tail)
     finally:
         if opened is not None:
             opened.close()
+        if waterfall_opened is not None:
+            waterfall_opened.close()
+    if trace_out is not None and tracker is not None:
+        trace = tracker.to_chrome_trace()
+        if trace is not None:
+            with open(trace_out, "w") as handle:
+                json.dump(trace, handle, sort_keys=True, indent=1)
+                handle.write("\n")
 
     # -- conservation ----------------------------------------------------
     pending = {"0x" + h.hex() for h in mempool.pending_hashes()}
@@ -418,4 +547,7 @@ def run_ingress(config: IngressConfig, out=None, progress=None) -> IngressReport
         divergences=divergences,
         summary=telemetry.summary(),
         counters=counters,
+        lifecycle=tracker.report().as_dict() if tracker is not None else None,
+        slo=slo.summary() if slo is not None else None,
+        flight=recorder.as_dict() if recorder is not None else None,
     )

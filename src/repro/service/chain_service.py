@@ -119,6 +119,7 @@ class ChainService:
         *,
         chain=None,
         recent_blocks: int = 64,
+        slo=None,
     ) -> None:
         if stream is None and chain is None:
             raise ValueError("ChainService needs a stream or a chain")
@@ -129,6 +130,11 @@ class ChainService:
         self.observer = observer
         self.fault_plan_factory = fault_plan_factory
         self.pipeline = pipeline
+        # Optional block-latency SLO monitor (repro.obs.lifecycle): fed
+        # the service clock + each block's end-to-end latency.  When the
+        # facade drives per-tx lifecycle tracking instead, attach the
+        # monitor there, not here — don't double-count.
+        self.slo = slo
         # The executor's own recovery policy, restored on plan-less blocks.
         self._default_recovery = executor.recovery
         self.height = (
@@ -243,6 +249,8 @@ class ChainService:
         self.blocks_committed += 1
         self.txs_committed += outcome.tx_count
         self.gas_used += outcome.gas_used
+        if self.slo is not None:
+            self.slo.observe_latency(self.sim_time_us, outcome.latency_us)
         return outcome
 
     def run(self, blocks: int):

@@ -104,6 +104,19 @@ class TestWindowSnapshot:
         registry.counter("faults", executor="occ").inc(3)
         assert registry.window_snapshot()["faults{executor=occ}"] == 3
 
+    def test_histogram_overflow_bucket_survives_window_deltas(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("spans_us", [10, 100])
+        h.observe(5_000.0)  # above the last finite edge: +inf bucket
+        first = registry.window_snapshot()["spans_us"]
+        assert first["buckets"][-1] == "+inf"
+        assert first["counts"] == [0, 0, 1]
+        h.observe(7_000.0)
+        second = registry.window_snapshot()["spans_us"]
+        # The overflow count is a per-window delta too, not cumulative.
+        assert second["counts"] == [0, 0, 1]
+        assert registry.window_snapshot()["spans_us"]["counts"] == [0, 0, 0]
+
     def test_kinds_classifies_every_series(self):
         registry = MetricsRegistry()
         registry.counter("a_total")
@@ -217,3 +230,20 @@ class TestSoakTelemetry:
         )
         line = format_window_line(snap)
         assert "p50/p90/p99 -/-/-" in line
+
+    def test_empty_window_with_lifecycle_and_slo_sections(self):
+        from repro.obs.lifecycle import LifecycleTracker, SloConfig, SloMonitor
+
+        tracker = LifecycleTracker()
+        slo = SloMonitor(SloConfig())
+        telemetry = SoakTelemetry(window_blocks=1, lifecycle=tracker, slo=slo)
+        snap = telemetry.record_block(
+            5, tx_count=0, gas_used=0, latency_us=0.0, tx_latencies_us=[]
+        )
+        # No terminal txs this window: sections are present, valid, null.
+        assert snap["lifecycle"]["committed"] == 0
+        assert snap["lifecycle"]["latency_us"]["p99"] is None
+        assert snap["slo"]["latency"]["total"] == 0
+        json.dumps(snap)
+        line = SoakTelemetry.snapshot_line(snap)
+        assert "\n" not in line
