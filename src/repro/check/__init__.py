@@ -51,6 +51,11 @@ from .crashfuzz import (
     pipelined_crash_sweep_block,
     reorg_roundtrip_block,
 )
+from .failover import (
+    FailoverSweepReport,
+    failover_sweep,
+    run_replication_scenario,
+)
 from .fuzzer import BlockFuzzer, FuzzConfig
 from .ingress import (
     ingress_config_for,
@@ -83,6 +88,9 @@ __all__ = [
     "run_ingress_scenario",
     "reorg_roundtrip_block",
     "Divergence",
+    "FailoverSweepReport",
+    "failover_sweep",
+    "run_replication_scenario",
     "FuzzConfig",
     "MUTATIONS",
     "RedoReplayChecker",

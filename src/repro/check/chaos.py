@@ -175,6 +175,18 @@ def run_chaos_block(
         return run_ingress_scenario(
             scenario, seed=seed, threads=threads, metrics=metrics
         )
+    if scenario.kind == "replication":
+        # Cluster hazards drive a replicated service end to end; like the
+        # ingress kinds, the fuzzer block plays no role.
+        from .failover import run_replication_scenario
+
+        return run_replication_scenario(
+            scenario,
+            seed=seed,
+            threads=threads,
+            check_roots=check_roots,
+            metrics=metrics,
+        )
     if scenario.kind != "faults":
         return _run_durability_scenario(
             chain,

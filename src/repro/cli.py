@@ -13,6 +13,7 @@ chaos        certify blocks with every executor under fault injection
 certify      the serializability acceptance gate (fixed seed matrix)
 crashfuzz    certify commit atomicity at every crash site, plus reorgs
 recover      rebuild world state from an on-disk journal + snapshots
+replicate    crash the primary at every commit site, certify zero-loss failover
 soak         run the long-lived chain service, stream windowed telemetry
 serve        expose the chain service over the demo HTTP JSON-RPC transport
 loadgen      drive the serving stack with the seeded open-loop client fleet
@@ -402,12 +403,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             failures += 1
             print(report.describe(), file=sys.stderr)
             dump_block, dump_cert = block, report.certification
-            if args.shrink and scenario.kind == "ingress":
-                # Ingress failures are a function of (scenario, seed)
-                # alone — the fuzzer block plays no role, so there is
-                # nothing to ddmin.
+            if args.shrink and scenario.kind in ("ingress", "replication"):
+                # Ingress and replication failures are a function of
+                # (scenario, seed) alone — the fuzzer block plays no
+                # role, so there is nothing to ddmin.
                 print(
-                    f"chaos[{scenario.name}] seed {seed}: ingress "
+                    f"chaos[{scenario.name}] seed {seed}: {scenario.kind} "
                     f"scenarios do not shrink (reproduce with the seed)",
                     file=sys.stderr,
                 )
@@ -512,6 +513,61 @@ def _cmd_crashfuzz(args: argparse.Namespace) -> int:
                     fh.write(block_to_json(block, report.certification))
                 print(f"seed {seed}: repro block -> {path}", file=sys.stderr)
     table = durability_table(metrics)
+    if table is not None:
+        print("\n" + table)
+    return 1 if failures else 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """Failover sweep(s) as deterministic JSONL, one line per seed."""
+    import json
+
+    from .check.failover import failover_sweep
+    from .obs import MetricsRegistry, replication_table
+    from .replication import FailoverPolicy
+
+    metrics = MetricsRegistry()
+    policy = FailoverPolicy(heartbeat_timeout_us=args.heartbeat_us)
+    failures = 0
+    lines = []
+    for seed in range(args.seed, args.seed + args.sweeps):
+        report = failover_sweep(
+            fuzz_seed=seed,
+            warmup_blocks=args.warmup,
+            txs_per_block=args.txs,
+            threads=args.threads,
+            replicas=args.replicas,
+            policy=policy,
+            metrics=metrics,
+        )
+        line = json.dumps(
+            {
+                "seed": seed,
+                "ok": report.ok,
+                "block_number": report.block_number,
+                "tx_count": report.tx_count,
+                "sites": len(report.sites),
+                "executors": len(report.executors),
+                "crashes_injected": report.crashes_injected,
+                "failovers": report.failovers,
+                "stale_frames_rejected": report.stale_frames_rejected,
+                "requeued_blocks": report.requeued_blocks,
+                "min_failover_us": round(report.min_failover_us, 3),
+                "max_failover_us": round(report.max_failover_us, 3),
+                "divergences": [d.describe() for d in report.divergences],
+            },
+            sort_keys=True,
+        )
+        lines.append(line)
+        stream = sys.stdout if report.ok else sys.stderr
+        print(line, file=stream)
+        if not report.ok:
+            failures += 1
+            print(report.describe(), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+    table = replication_table(metrics)
     if table is not None:
         print("\n" + table)
     return 1 if failures else 0
@@ -976,6 +1032,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump", metavar="DIR", help="write failing repro blocks as JSON here"
     )
     crashfuzz.set_defaults(func=_cmd_crashfuzz)
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="certify zero-loss failover: crash the primary at every commit "
+        "crash site x every executor config, promote the freshest replica, "
+        "prove RPO=0 and epoch fencing; deterministic JSONL per seed",
+    )
+    replicate.add_argument("--seed", type=int, default=0, help="first fuzz seed")
+    replicate.add_argument("--sweeps", type=int, default=1, help="seeds to run")
+    replicate.add_argument("--txs", type=int, default=6, help="txs per block")
+    replicate.add_argument("--threads", type=int, default=4)
+    replicate.add_argument("--warmup", type=int, default=2, help="warm-up blocks")
+    replicate.add_argument("--replicas", type=int, default=2)
+    replicate.add_argument(
+        "--heartbeat-us",
+        type=float,
+        default=150_000.0,
+        help="heartbeat silence declaring the primary dead (simulated us)",
+    )
+    replicate.add_argument(
+        "--out", metavar="FILE", help="also write the JSONL lines here"
+    )
+    replicate.set_defaults(func=_cmd_replicate)
 
     soak = sub.add_parser(
         "soak",

@@ -95,6 +95,12 @@ class DurableCommitPipeline:
     metrics:
         Optional metrics registry; ``None`` keeps every counter update off
         the commit path.
+    epoch:
+        The fencing epoch stamped into every BEGIN frame (see
+        :class:`~repro.durability.journal.BeginRecord`).  0 — the default —
+        is an unreplicated node; the replication layer hands each promoted
+        primary a strictly larger epoch so replicas can fence off frames
+        from its predecessors.
     """
 
     def __init__(
@@ -104,12 +110,14 @@ class DurableCommitPipeline:
         checkpoint_interval: int = 0,
         crash=None,
         metrics=None,
+        epoch: int = 0,
     ) -> None:
         self.medium = medium if medium is not None else MemoryMedium()
         self.cost_model = cost_model
         self.checkpoint_interval = checkpoint_interval
         self.crash = crash
         self.metrics = metrics
+        self.epoch = epoch
         self.journal = WriteAheadJournal(self.medium, crash=crash)
         self.blocks_committed = 0
         self.commit_us_total = 0.0
@@ -154,7 +162,7 @@ class DurableCommitPipeline:
         pre_root = world.fingerprint()
         preimages = {key: world.peek(key) for key in publish_order(writes)}
         elapsed += self.journal.append(
-            BeginRecord(block_number, len(result.tx_results), pre_root),
+            BeginRecord(block_number, len(result.tx_results), pre_root, self.epoch),
             site="begin",
         ) * cost.journal_byte_us
 

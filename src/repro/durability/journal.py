@@ -68,9 +68,18 @@ TAG_CHECKPT = b"K"
 
 @dataclass(slots=True, frozen=True)
 class BeginRecord:
+    """Opens a block's frame group.
+
+    ``epoch`` is the primary's fencing epoch (monotonic across failovers,
+    0 for an unreplicated node).  It rides the BEGIN frame so replicas
+    can reject frames from a deposed primary; journals written before the
+    field existed decode with epoch 0.
+    """
+
     block_number: int
     tx_count: int
     pre_root: bytes
+    epoch: int = 0
 
 
 @dataclass(slots=True, frozen=True)
@@ -136,7 +145,13 @@ def encode_record(record: JournalRecord) -> bytes:
     """One journal record as RLP payload bytes (frame body, no header)."""
     number = rlp.uint_to_bytes(record.block_number)
     if isinstance(record, BeginRecord):
-        item = [TAG_BEGIN, number, rlp.uint_to_bytes(record.tx_count), record.pre_root]
+        item = [
+            TAG_BEGIN,
+            number,
+            rlp.uint_to_bytes(record.tx_count),
+            record.pre_root,
+            rlp.uint_to_bytes(record.epoch),
+        ]
     elif isinstance(record, TxWriteRecord):
         item = [
             TAG_TXWRITE,
@@ -171,7 +186,8 @@ def decode_record(payload: bytes, offset: int = 0) -> JournalRecord:
     try:
         number = rlp.bytes_to_uint(item[1])
         if tag == TAG_BEGIN:
-            return BeginRecord(number, rlp.bytes_to_uint(item[2]), item[3])
+            epoch = rlp.bytes_to_uint(item[4]) if len(item) > 4 else 0
+            return BeginRecord(number, rlp.bytes_to_uint(item[2]), item[3], epoch)
         if tag == TAG_TXWRITE:
             return TxWriteRecord(
                 number, rlp.bytes_to_uint(item[2]), _decode_writes(item[3])

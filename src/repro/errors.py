@@ -357,6 +357,98 @@ class CircuitOpen(AdmissionError):
         self.retry_after_us = retry_after_us
 
 
+class NotPrimary(AdmissionError):
+    """A write reached a replica (or demoted primary) instead of the leader.
+
+    Replicas serve reads and health but must never accept transactions —
+    silently pooling a write on a follower would lose it at the next
+    failover.  Carries the responder's role and fencing epoch so clients
+    (and the chaos harness) can re-discover the leader.
+    """
+
+    code = "not-primary"
+    retryable = True
+
+    def __init__(self, role: str, epoch: int) -> None:
+        super().__init__(
+            f"writes must go to the primary; this node is {role!r} "
+            f"(epoch {epoch})"
+        )
+        self.role = role
+        self.epoch = epoch
+
+
+class RateLimited(AdmissionError):
+    """The sender exhausted its token-bucket admission allowance.
+
+    Per-sender rate shaping (fairness beyond quotas): each sender's
+    bucket refills at ``sender_rate_per_s`` with burst capacity
+    ``sender_burst``; an empty bucket rejects with the simulated time
+    until one token is available, which the JSON-RPC layer forwards as
+    ``retry_after_us``.
+    """
+
+    code = "rate-limited"
+    retryable = True
+
+    def __init__(self, sender: bytes, retry_after_us: float) -> None:
+        super().__init__(
+            f"sender 0x{sender.hex()} is over its admission rate; "
+            f"retry after {retry_after_us:.0f} us"
+        )
+        self.sender = sender
+        self.retry_after_us = retry_after_us
+
+
+class ReplicationError(ResilienceError):
+    """Base class for journal-shipping replication failures.
+
+    Replication faults — a replica whose replay contradicts the sealed
+    roots, a fenced-off stale primary — sit on the resilience hierarchy so
+    the chaos harness routes them through the same typed-degradation
+    machinery as storage faults and crashes: a diverged replica is
+    quarantined, never trusted.
+    """
+
+
+class ReplicaDivergence(ReplicationError):
+    """A replica's replayed state contradicts the shipped journal.
+
+    Raised when a replica's post-apply fingerprint differs from the SEAL
+    record's root (or its reconstructed delta fails the COMMIT digest).
+    The replica is quarantined and its flight recorder dumped — by the
+    Block-STM determinism argument a divergence means corrupted state or
+    a broken replica, so it must never be promoted.
+    """
+
+    def __init__(self, replica: str, block_number: int, detail: str) -> None:
+        super().__init__(
+            f"replica {replica!r} diverged at block {block_number}: {detail}"
+        )
+        self.replica = replica
+        self.block_number = block_number
+        self.detail = detail
+
+
+class StaleEpoch(ReplicationError):
+    """A journal frame carried a fencing epoch older than the fence.
+
+    After failover the controller bumps the cluster fence; a deposed
+    primary that keeps shipping frames (a network partition, a zombie
+    process) is rejected here — the split-brain guard.  The frame is
+    counted and dropped; the replica's state is untouched.
+    """
+
+    def __init__(self, block_number: int, epoch: int, fence: int) -> None:
+        super().__init__(
+            f"block {block_number} frame carries epoch {epoch} but the "
+            f"fence is {fence}; stale primary rejected"
+        )
+        self.block_number = block_number
+        self.epoch = epoch
+        self.fence = fence
+
+
 class BlockValidationError(ResilienceError):
     """An externally supplied block failed :meth:`ChainService.ingest_block`
     validation.  The block is rejected atomically — no partial state."""

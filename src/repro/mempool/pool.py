@@ -30,6 +30,7 @@ from ..errors import (
     MempoolFull,
     NonceGapTooWide,
     NonceTooLow,
+    RateLimited,
     ReplacementUnderpriced,
     SenderQuotaExceeded,
 )
@@ -48,6 +49,15 @@ class MempoolConfig:
     ``tx_ttl_us`` is the queue deadline used for load shedding: once the
     pool is pressured, pooled txs older than their deadline are shed
     cheapest-first until depth reaches the low watermark.
+
+    ``sender_rate_per_s`` turns on per-sender token-bucket rate shaping
+    (0 disables it, the default): each sender's bucket starts full at
+    ``sender_burst`` tokens, refills continuously at the configured rate
+    on the simulated clock, and every admission attempt spends one token.
+    An empty bucket rejects with :class:`~repro.errors.RateLimited`
+    carrying ``retry_after_us`` — fairness beyond the static quota, so a
+    single chatty sender cannot monopolise admission throughput even
+    while staying under its pooled-count quota.
     """
 
     capacity: int = 2048
@@ -59,6 +69,8 @@ class MempoolConfig:
     low_watermark: float = 0.60
     tx_ttl_us: float = 1_500_000.0
     max_tx_bytes: int = 4096
+    sender_rate_per_s: float = 0.0
+    sender_burst: int = 4
 
     @property
     def high_depth(self) -> int:
@@ -107,6 +119,9 @@ class Mempool:
         self._by_sender: dict[bytes, dict[int, PoolEntry]] = {}
         self._by_hash: dict[bytes, PoolEntry] = {}
         self._seq = 0
+        # sender -> [tokens, last_refill_us]; only touched when rate
+        # shaping is enabled, so the default path stays allocation-free.
+        self._buckets: dict[bytes, list[float]] = {}
 
     # -- introspection -------------------------------------------------
 
@@ -138,6 +153,31 @@ class Mempool:
 
     # -- admission -----------------------------------------------------
 
+    def _shape_rate(self, sender: bytes, now_us: float) -> None:
+        """Spend one token from the sender's bucket or raise RateLimited.
+
+        The bucket refills continuously on the simulated clock; tokens
+        are spent per admission *attempt* (not per success), so hammering
+        with doomed transactions burns allowance just like valid ones.
+        """
+        rate = self.config.sender_rate_per_s
+        if rate <= 0.0:
+            return
+        burst = float(max(1, self.config.sender_burst))
+        bucket = self._buckets.get(sender)
+        if bucket is None:
+            bucket = self._buckets[sender] = [burst, now_us]
+        tokens, last = bucket
+        tokens = min(burst, tokens + (now_us - last) * rate / 1e6)
+        if tokens < 1.0:
+            bucket[0] = tokens
+            bucket[1] = now_us
+            retry_after_us = (1.0 - tokens) / rate * 1e6
+            self._count("mempool_rejected_total", reason="rate-limited")
+            raise RateLimited(sender, retry_after_us)
+        bucket[0] = tokens - 1.0
+        bucket[1] = now_us
+
     def _expected_nonce(self, sender: bytes, on_chain: int) -> int:
         """The end of the sender's contiguous executable sequence."""
         pooled = self._by_sender.get(sender)
@@ -151,11 +191,13 @@ class Mempool:
         """Admit ``tx`` or raise a typed :class:`AdmissionError` subtype.
 
         Returns the tx hash on success.  Checks run cheapest-first:
-        fee floor, sender quota, nonce discipline, replacement-by-fee,
-        cumulative balance cover, then capacity (with fee-based
-        displacement of the cheapest pooled tx as the last resort).
+        per-sender rate shaping (when enabled), fee floor, sender quota,
+        nonce discipline, replacement-by-fee, cumulative balance cover,
+        then capacity (with fee-based displacement of the cheapest pooled
+        tx as the last resort).
         """
         config = self.config
+        self._shape_rate(tx.sender, now_us)
         if tx.gas_price < config.min_gas_price:
             self._count("mempool_rejected_total", reason="fee-too-low")
             raise FeeTooLow(tx.gas_price, config.min_gas_price)

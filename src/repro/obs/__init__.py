@@ -60,6 +60,7 @@ from .report import (
     phase_breakdown_table,
     redo_slice_table,
     render_block_report,
+    replication_table,
     structural_bound_lines,
     utilization_table,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "degradation_table",
     "format_window_line",
     "durability_table",
+    "replication_table",
     "hot_sender_table",
     "phase_breakdown_table",
     "redo_slice_table",

@@ -250,6 +250,59 @@ def durability_table(metrics: MetricsRegistry) -> str | None:
     )
 
 
+_REPLICATION_LABELS = (
+    ("replication_shipped_bytes_total", "journal bytes shipped"),
+    ("replication_fenced_bytes_total", "bytes written past the fence"),
+    ("replication_shipped_snapshots_total", "snapshots shipped"),
+    ("replication_snapshots_rejected_total", "bootstrap snapshots rejected"),
+    ("replication_blocks_applied_total", "blocks applied on replicas"),
+    ("replication_stale_frames_total", "stale-epoch frames rejected"),
+    ("replication_corrupt_feed_total", "corrupt feed frames"),
+    ("replication_divergences_total", "replica divergences"),
+    ("replication_quarantines_total", "replicas quarantined"),
+    ("replication_failovers_total", "failovers (promotions)"),
+    ("replication_requeued_txs_total", "in-flight txs re-queued"),
+)
+
+
+def replication_table(metrics: MetricsRegistry) -> str | None:
+    """Summary of journal-shipping replication (``replication_*`` series).
+
+    One row per non-zero counter across every replica label, then the
+    fencing epoch and per-replica lag gauges.  Returns None when no
+    replication counters exist — i.e. no cluster ran against this
+    registry — so unreplicated reports (every benchmark) stay untouched.
+    """
+    names = {
+        name for name, _key, _metric in metrics.series()
+        if name.startswith("replication_")
+    }
+    if not names:
+        return None
+    rows = []
+    for name, label in _REPLICATION_LABELS:
+        total = metrics.sum_by_name(name)
+        if total:
+            rows.append([label, f"{total:g}"])
+    epoch = metrics.value("replication_epoch")
+    if epoch is not None:
+        rows.append(["fencing epoch", f"{epoch:g}"])
+    for labels, lag in sorted(
+        metrics.labelled_values("replication_lag_blocks").items()
+    ):
+        info = dict(labels)
+        rows.append(
+            [f"lag ({info.get('replica', '?')})", f"{lag:g} blocks"]
+        )
+    if not rows:
+        rows.append(["journal bytes shipped", "0"])
+    return render_table(
+        "Replication summary (journal shipping & failover)",
+        ["event", "count"],
+        rows,
+    )
+
+
 def certification_table(metrics: MetricsRegistry) -> str | None:
     """Summary of a ``repro.check`` certification run (``certify_*`` series).
 

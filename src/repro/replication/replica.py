@@ -1,0 +1,498 @@
+"""The replica: incremental feed replay with independent verification.
+
+A replica is a recovery loop that never finishes: it consumes the shipped
+feed frame by frame, maintains its *own* durable journal (byte-identical
+frames, locally pruned at checkpoints), and applies each block to its own
+world exactly as :func:`repro.durability.recover` would — verifying the
+COMMIT marker's delta digest before apply and the SEAL record's
+fingerprint after.  Because every executor is deterministic (the
+Block-STM argument), a verified replica *certifies* the primary's output
+rather than trusting it; any contradiction is a typed
+:class:`~repro.errors.ReplicaDivergence`, the replica quarantines itself,
+and its flight recorder dumps the evidence.
+
+Three consumption outcomes at the feed tail are distinguished:
+
+- an **incomplete frame** is a torn tail in progress (or a crash) — the
+  replica simply waits; :meth:`finalize_source` truncates it when the
+  feed is pronounced dead;
+- a **complete frame failing CRC/decode** is transport corruption (the
+  medium mirror is append-atomic, so a torn write can never produce a
+  complete-but-wrong frame) — typed
+  :class:`~repro.errors.JournalCorruptionError`, quarantine;
+- a **BEGIN frame with a stale epoch** is a deposed primary writing past
+  the fence — counted, evidence kept, frames dropped, replica healthy
+  (:class:`~repro.errors.StaleEpoch` instances in ``stale_rejections``).
+
+Simulated time: applying a block charges the same replay cost recovery
+does (``commit_key_us`` per write + one fsync), accrued in ``apply_us`` —
+the failover controller counts outstanding replay toward failover time.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..durability.checkpoint import decode_snapshot, restore_snapshot
+from ..durability.commit import delta_digest
+from ..durability.journal import (
+    JOURNAL_MAGIC,
+    MAX_FRAME_BYTES,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    SealRecord,
+    SettleRecord,
+    TxWriteRecord,
+    UndoRecord,
+    WriteAheadJournal,
+    decode_record,
+)
+from ..durability.medium import MemoryMedium
+from ..durability.recovery import recover
+from ..errors import JournalCorruptionError, ReplicaDivergence, StaleEpoch
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..state.world import WorldState
+
+_HEADER = struct.Struct(">II")  # the journal's frame header (length, crc32)
+
+# How many StaleEpoch instances a replica retains as rejection evidence.
+_STALE_EVIDENCE_CAP = 8
+
+
+@dataclass(slots=True, frozen=True)
+class ReplicaConfig:
+    """Replay-loop knobs.
+
+    ``max_frames_per_poll`` models a slow apply loop (0 = unbounded): a
+    laggy replica consumes at most that many frames per poll tick, falling
+    behind under load — the hazard the lag budget exists for.
+    ``verify_roots`` controls the per-block SEAL fingerprint check (the
+    expensive half of verification; the delta digest is always checked).
+    """
+
+    max_frames_per_poll: int = 0
+    verify_roots: bool = True
+    prune_on_checkpoint: bool = True
+
+
+@dataclass(slots=True)
+class _OpenBlock:
+    """The block whose frames are currently streaming in."""
+
+    number: int
+    tx_count: int
+    pre_root: bytes
+    epoch: int
+    begin_own_offset: int
+    writes: dict = field(default_factory=dict)
+    committed: bool = False
+
+
+class ReplicaService:
+    """One follower: own journal, own world, independent verification."""
+
+    def __init__(
+        self,
+        name: str,
+        feed,
+        config: ReplicaConfig | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        metrics=None,
+        flight=None,
+    ) -> None:
+        self.name = name
+        self.feed = feed
+        self.config = config or ReplicaConfig()
+        self.cost_model = cost_model
+        self.metrics = metrics
+        self.flight = flight
+        self.medium = MemoryMedium()
+        self.world: WorldState | None = None
+        self.state = "syncing"  # syncing -> streaming; terminal: quarantined
+        self.error: Exception | None = None
+        self.fence_epoch = feed.epoch
+        self.max_epoch_seen = 0
+        self.snapshot_block: int | None = None
+        self.last_committed_block: int | None = None
+        self.last_sealed_block: int | None = None
+        self.blocks_applied = 0
+        self.frames_applied = 0
+        self.apply_us = 0.0
+        self.stale_frames_rejected = 0
+        self.stale_rejections: list[StaleEpoch] = []
+        # Test/chaos hooks.  ``corrupt_block`` corrupts that block's delta
+        # just before apply, forcing the SEAL verification to catch a
+        # divergent replica.  ``flip_feed_byte`` flips one byte of *this
+        # replica's view* of the feed at the given absolute offset — a
+        # per-link transport corruption (the shared feed stays intact for
+        # other replicas).
+        self.corrupt_block: int | None = None
+        self.flip_feed_byte: int | None = None
+        self._cursor = 0
+        self._magic_done = False
+        self._open: _OpenBlock | None = None
+        self._stale_block: int | None = None
+        self._stale_epoch = 0
+        self._skip_block: int | None = None
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def tip(self) -> int | None:
+        """The last block folded into this replica's world."""
+        return self.last_committed_block
+
+    def lag_blocks(self, primary_tip: int | None) -> int:
+        """How many committed blocks this replica trails the primary by."""
+        if primary_tip is None:
+            return 0
+        have = self.last_committed_block
+        return max(0, primary_tip - have) if have is not None else primary_tip
+
+    def health(self) -> dict:
+        return {
+            "replica": self.name,
+            "state": self.state,
+            "fence_epoch": self.fence_epoch,
+            "last_committed_block": self.last_committed_block,
+            "last_sealed_block": self.last_sealed_block,
+            "blocks_applied": self.blocks_applied,
+            "stale_frames_rejected": self.stale_frames_rejected,
+            "apply_us": self.apply_us,
+        }
+
+    def _count(self, counter: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(counter, replica=self.name).inc(value)
+
+    # -- failure modes -------------------------------------------------
+
+    def _quarantine(self, error: Exception, now_us: float, reason: str):
+        self.state = "quarantined"
+        self.error = error
+        self._count("replication_quarantines_total")
+        if self.flight is not None:
+            self.flight.record(
+                {
+                    "kind": reason,
+                    "replica": self.name,
+                    "error": str(error),
+                    "block": self.last_committed_block,
+                    "now_us": now_us,
+                }
+            )
+            self.flight.trigger(reason, now_us)
+        raise error
+
+    def _diverge(self, block_number: int, detail: str, now_us: float):
+        self._count("replication_divergences_total")
+        self._quarantine(
+            ReplicaDivergence(self.name, block_number, detail),
+            now_us,
+            "replica-divergence",
+        )
+
+    def _corrupt_feed(self, offset: int, detail: str, now_us: float):
+        self._count("replication_corrupt_feed_total")
+        self._quarantine(
+            JournalCorruptionError(offset, detail), now_us, "corrupt-feed"
+        )
+
+    def _reject_stale(self, block_number: int, epoch: int, now_us: float) -> None:
+        self.stale_frames_rejected += 1
+        self._count("replication_stale_frames_total")
+        error = StaleEpoch(block_number, epoch, self.fence_epoch)
+        if len(self.stale_rejections) < _STALE_EVIDENCE_CAP:
+            self.stale_rejections.append(error)
+        if self.flight is not None:
+            self.flight.record(
+                {
+                    "kind": "stale-epoch",
+                    "replica": self.name,
+                    "block": block_number,
+                    "epoch": epoch,
+                    "fence": self.fence_epoch,
+                    "now_us": now_us,
+                }
+            )
+
+    # -- bootstrap -----------------------------------------------------
+
+    def _bootstrap(self) -> bool:
+        """Restore the newest valid shipped snapshot; False while none."""
+        best: tuple[int, WorldState, bytes] | None = None
+        for number, blob in self.feed.snapshots:
+            try:
+                decoded_number, fingerprint, items = decode_snapshot(blob)
+            except JournalCorruptionError:
+                self._count("replication_snapshots_rejected_total")
+                continue
+            if decoded_number != number:
+                self._count("replication_snapshots_rejected_total")
+                continue
+            world = restore_snapshot(items)
+            if world.fingerprint() != fingerprint:
+                self._count("replication_snapshots_rejected_total")
+                continue
+            if best is None or number >= best[0]:
+                best = (number, world, blob)
+        if best is None:
+            return False
+        number, world, blob = best
+        self.world = world
+        self.snapshot_block = number
+        self.last_committed_block = number
+        self.last_sealed_block = number
+        self.medium.write_snapshot(number, blob)
+        self.medium.append_journal(JOURNAL_MAGIC)
+        self.state = "streaming"
+        return True
+
+    # -- the replay loop -----------------------------------------------
+
+    def poll(self, now_us: float = 0.0, max_frames: int | None = None) -> int:
+        """Consume complete frames from the feed; returns frames consumed.
+
+        Raises the typed quarantine errors
+        (:class:`~repro.errors.ReplicaDivergence` /
+        :class:`~repro.errors.JournalCorruptionError`); an incomplete
+        trailing frame just ends the poll.
+        """
+        if self.state == "quarantined":
+            return 0
+        if self.world is None and not self._bootstrap():
+            return 0
+        budget = (
+            max_frames
+            if max_frames is not None
+            else self.config.max_frames_per_poll
+        )
+        base = self._cursor
+        data = self.feed.read_from(base)
+        flip = self.flip_feed_byte
+        if flip is not None and base <= flip < base + len(data):
+            damaged = bytearray(data)
+            damaged[flip - base] ^= 0xFF
+            data = bytes(damaged)
+        pos = 0
+        if not self._magic_done:
+            if data.startswith(JOURNAL_MAGIC):
+                pos = len(JOURNAL_MAGIC)
+                self._cursor = base + pos
+                self._magic_done = True
+            elif len(data) < len(JOURNAL_MAGIC) and JOURNAL_MAGIC.startswith(data):
+                return 0  # partial magic: wait for the rest
+            else:
+                # A continuation feed (promoted primary over a non-empty
+                # journal) starts directly with frames.
+                self._magic_done = True
+        consumed = 0
+        size = len(data)
+        while pos < size:
+            if budget and consumed >= budget:
+                break
+            if size - pos < _HEADER.size:
+                break  # partial header: wait
+            length, crc = _HEADER.unpack_from(data, pos)
+            offset = base + pos
+            if length > MAX_FRAME_BYTES:
+                self._corrupt_feed(
+                    offset, f"implausible frame length {length}", now_us
+                )
+            body_start = pos + _HEADER.size
+            if size - body_start < length:
+                break  # partial body: a torn append in progress
+            payload = data[body_start : body_start + length]
+            end = body_start + length
+            if zlib.crc32(payload) != crc:
+                self._corrupt_feed(offset, "frame CRC mismatch", now_us)
+            try:
+                record = decode_record(payload, offset)
+            except JournalCorruptionError as exc:
+                self._corrupt_feed(offset, exc.detail, now_us)
+            raw = bytes(data[pos:end])
+            pos = end
+            self._cursor = base + pos
+            self._handle(record, raw, offset, now_us)
+            consumed += 1
+        return consumed
+
+    def _handle(self, record, raw: bytes, offset: int, now_us: float) -> None:
+        if isinstance(record, BeginRecord):
+            self._handle_begin(record, raw, offset, now_us)
+            return
+        number = record.block_number
+        if self._stale_block is not None and number == self._stale_block:
+            # The rest of a fenced-off block's frames.
+            self._reject_stale(number, self._stale_epoch, now_us)
+            return
+        if self._skip_block is not None and number == self._skip_block:
+            if isinstance(record, CheckpointRecord):
+                self._skip_block = None
+            return
+        if isinstance(record, CheckpointRecord):
+            self._handle_checkpoint(record, raw)
+            return
+        open_block = self._open
+        if open_block is None or number != open_block.number:
+            self._corrupt_feed(
+                offset,
+                "record sequence violates the BEGIN/COMMIT protocol",
+                now_us,
+            )
+        self.medium.append_journal(raw)
+        self.frames_applied += 1
+        if isinstance(record, (TxWriteRecord, SettleRecord)):
+            open_block.writes.update(record.writes)
+        elif isinstance(record, UndoRecord):
+            pass  # preserved on our journal for reorg-capable promotion
+        elif isinstance(record, CommitRecord):
+            self._handle_commit(record, open_block, now_us)
+        elif isinstance(record, SealRecord):
+            self._handle_seal(record, open_block, now_us)
+
+    def _handle_begin(
+        self, record: BeginRecord, raw: bytes, offset: int, now_us: float
+    ) -> None:
+        if record.epoch < self.fence_epoch:
+            self._stale_block = record.block_number
+            self._stale_epoch = record.epoch
+            self._skip_block = None
+            self._reject_stale(record.block_number, record.epoch, now_us)
+            return
+        self._stale_block = None
+        self.max_epoch_seen = max(self.max_epoch_seen, record.epoch)
+        if self._open is not None:
+            if self._open.committed:
+                # A committed, seal-less predecessor is legitimate history
+                # (its writes applied at COMMIT); close it and move on.
+                self._open = None
+            else:
+                self._corrupt_feed(
+                    offset, "BEGIN inside an uncommitted block", now_us
+                )
+        if (
+            self.last_committed_block is not None
+            and record.block_number <= self.last_committed_block
+        ):
+            # Frames already folded into our bootstrap snapshot.
+            self._skip_block = record.block_number
+            return
+        self._skip_block = None
+        self._open = _OpenBlock(
+            number=record.block_number,
+            tx_count=record.tx_count,
+            pre_root=record.pre_root,
+            epoch=record.epoch,
+            begin_own_offset=self.medium.journal_size(),
+        )
+        self.medium.append_journal(raw)
+        self.frames_applied += 1
+
+    def _handle_commit(
+        self, record: CommitRecord, open_block: _OpenBlock, now_us: float
+    ) -> None:
+        if delta_digest(open_block.pre_root, open_block.writes) != record.delta_digest:
+            self._diverge(
+                open_block.number,
+                "replayed delta does not match the COMMIT marker's digest",
+                now_us,
+            )
+        if self.corrupt_block == open_block.number and open_block.writes:
+            key = min(open_block.writes)
+            value = open_block.writes[key]
+            open_block.writes[key] = (
+                value + 1 if isinstance(value, int) else value + b"\x00"
+            )
+        self.world.apply(open_block.writes)
+        self.apply_us += (
+            len(open_block.writes) * self.cost_model.commit_key_us
+            + self.cost_model.fsync_us
+        )
+        open_block.committed = True
+        self.last_committed_block = open_block.number
+        self.blocks_applied += 1
+        self._count("replication_blocks_applied_total")
+
+    def _handle_seal(
+        self, record: SealRecord, open_block: _OpenBlock, now_us: float
+    ) -> None:
+        if not open_block.committed:
+            self._corrupt_feed(
+                self._cursor, "SEAL before the COMMIT marker", now_us
+            )
+        if (
+            self.config.verify_roots
+            and self.world.fingerprint() != record.post_root
+        ):
+            self._diverge(
+                open_block.number,
+                "post-apply state fingerprint does not match the sealed root",
+                now_us,
+            )
+        self.last_sealed_block = open_block.number
+        self._open = None
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "replication_last_sealed_block", replica=self.name
+            ).set(float(open_block.number))
+
+    def _handle_checkpoint(self, record: CheckpointRecord, raw: bytes) -> None:
+        if self._open is not None and self._open.committed:
+            self._open = None
+        self.medium.append_journal(raw)
+        self.frames_applied += 1
+        for number, blob in self.feed.snapshots:
+            if number == record.block_number:
+                self.medium.write_snapshot(number, blob)
+                self.snapshot_block = number
+                break
+        if self.config.prune_on_checkpoint:
+            WriteAheadJournal(self.medium).prune_through(record.block_number)
+            self.medium.prune_snapshots(keep=2)
+
+    # -- failover support ----------------------------------------------
+
+    def finalize_source(self) -> None:
+        """The feed is dead: drop its torn tail and any unterminated block."""
+        if self._open is not None and not self._open.committed:
+            self.medium.truncate_journal(self._open.begin_own_offset)
+            self._open = None
+        elif self._open is not None:
+            self._open = None
+        self._stale_block = None
+        self._cursor = len(self.feed)
+
+    def rebase(self, feed) -> None:
+        """Re-subscribe to a successor primary's feed (fence included)."""
+        self.feed = feed
+        self.fence_epoch = max(self.fence_epoch, feed.epoch)
+        self._cursor = 0
+        self._magic_done = False
+
+    def fence(self, epoch: int) -> None:
+        """Raise the fencing epoch (failover): older frames now rejected."""
+        self.fence_epoch = max(self.fence_epoch, epoch)
+
+    def promote(self) -> object:
+        """Recover this replica's own journal into a promotable world.
+
+        Returns the :class:`~repro.durability.recovery.RecoveryResult`;
+        the recovered world replaces the streaming world (they agree on
+        every sealed block — recovery re-verifies that from our own
+        durable copy, the promotion-time self-check).
+        """
+        result = recover(
+            self.medium,
+            WorldState,
+            cost_model=self.cost_model,
+            metrics=self.metrics,
+            verify_roots=self.config.verify_roots,
+        )
+        self.world = result.world
+        self.last_committed_block = result.last_committed_block
+        self.last_sealed_block = result.last_committed_block
+        return result

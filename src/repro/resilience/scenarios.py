@@ -34,7 +34,9 @@ class ChaosScenario:
     ``"reorg"`` runs the undo-preimage rollback round trip; ``"ingress"``
     drives a seeded open-loop client fleet through the JSON-RPC facade
     (:func:`repro.rpc.run_ingress`) with the overload knobs in
-    ``ingress``.  The non-fault kinds carry an empty
+    ``ingress``; ``"replication"`` runs the replicated-cluster hazards
+    (:func:`repro.check.failover.run_replication_scenario`) selected by
+    ``replication["mode"]``.  The non-fault kinds carry an empty
     :class:`FaultConfig` — their adversary is process death or hostile
     traffic, not degraded hardware.
     """
@@ -48,6 +50,9 @@ class ChaosScenario:
     # shape, misbehaviour shares, consumer slowdown).  A plain dict keeps
     # the resilience layer free of any rpc import.
     ingress: dict = field(default_factory=dict)
+    # kind == "replication" only: which cluster hazard to run ("mode") —
+    # a plain dict for the same layering reason as ``ingress``.
+    replication: dict = field(default_factory=dict)
 
 
 SCENARIOS: dict[str, ChaosScenario] = {
@@ -167,6 +172,43 @@ SCENARIOS: dict[str, ChaosScenario] = {
             FaultConfig(),
             kind="ingress",
             ingress={"nonce_gap_share": 0.35},
+        ),
+        ChaosScenario(
+            "primary-crash",
+            "the primary dies mid-commit at every crash site x every "
+            "executor config; the freshest replica must be promoted with "
+            "RPO=0, the deposed primary's frames fenced by epoch, and the "
+            "lost block re-queued to full convergence",
+            FaultConfig(),
+            kind="replication",
+            replication={"mode": "primary-crash"},
+        ),
+        ChaosScenario(
+            "laggy-replica",
+            "one replica consumes a single frame per poll; the lag budget "
+            "must flag it (and only it), and an unbounded drain must still "
+            "converge it to the primary's state",
+            FaultConfig(),
+            kind="replication",
+            replication={"mode": "laggy-replica"},
+        ),
+        ChaosScenario(
+            "corrupt-feed",
+            "one replica's feed link flips a frame byte: the CRC must "
+            "quarantine it with a typed error and a flight dump, and "
+            "failover must still promote the intact replica losslessly",
+            FaultConfig(),
+            kind="replication",
+            replication={"mode": "corrupt-feed"},
+        ),
+        ChaosScenario(
+            "divergent-replica",
+            "a replica silently corrupts one block during replay; the "
+            "sealed-root check must quarantine it and promotion must "
+            "exclude it",
+            FaultConfig(),
+            kind="replication",
+            replication={"mode": "divergent-replica"},
         ),
         ChaosScenario(
             "havoc",

@@ -29,7 +29,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..errors import AdmissionError, BackpressureActive, CircuitOpen
+from ..errors import AdmissionError, BackpressureActive, CircuitOpen, NotPrimary
 from ..mempool.admission import decode_wire_transaction, transaction_hash
 from ..mempool.pool import Mempool, PoolEntry
 from ..resilience.policy import RecoveryPolicy
@@ -83,9 +83,15 @@ class RpcFacade:
         policy: RecoveryPolicy | None = None,
         metrics=None,
         lifecycle=None,
+        replication=None,
     ) -> None:
         self.service = service
         self.mempool = mempool
+        # Optional ReplicationView (repro.replication): when set, health()
+        # reports role/epoch/lag and writes to a non-primary node shed
+        # with a typed NotPrimary instead of silently pooling a tx a
+        # failover would lose.  None-guarded like lifecycle.
+        self.replication = replication
         self.config = config or RpcConfig()
         self.policy = policy or ingress_backoff_policy()
         self.metrics = metrics
@@ -193,6 +199,13 @@ class RpcFacade:
         the dispatcher maps it onto the JSON-RPC error envelope.
         """
         lifecycle = self.lifecycle
+        view = self.replication
+        if view is not None and view.role != "primary":
+            exc = NotPrimary(view.role, view.epoch)
+            self._count("rpc_rejected_total", reason=exc.code)
+            if lifecycle is not None:
+                lifecycle.on_rejected(exc.code, now_us, retryable=exc.retryable)
+            raise exc
         try:
             self._check_backpressure(now_us)
         except BackpressureActive as exc:
@@ -268,8 +281,14 @@ class RpcFacade:
         return None
 
     def health(self) -> dict:
-        """Liveness + overload state; never shed, never backpressured."""
-        return {
+        """Liveness + overload state; never shed, never backpressured.
+
+        With a replication view attached the answer also carries the
+        node's role, fencing epoch, replication lag and last sealed
+        block — what a client (or the failover controller's operator)
+        needs to re-discover the leader.
+        """
+        report = {
             "height": self.service.height,
             "blocks_committed": self.service.blocks_committed,
             "txs_committed": self.service.txs_committed,
@@ -278,6 +297,9 @@ class RpcFacade:
             "circuit_open": self.circuit_open,
             "commit_lag_us": self.commit_lag_us,
         }
+        if self.replication is not None:
+            report.update(self.replication.health())
+        return report
 
     # -- block production ---------------------------------------------
 

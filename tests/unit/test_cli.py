@@ -83,6 +83,27 @@ class TestParser:
         args = build_parser().parse_args(["crashfuzz", "--pipeline"])
         assert args.pipeline
 
+    def test_replicate_defaults(self):
+        args = build_parser().parse_args(["replicate"])
+        assert args.seed == 0
+        assert args.sweeps == 1
+        assert args.txs == 6
+        assert args.warmup == 2
+        assert args.replicas == 2
+        assert args.heartbeat_us == 150_000.0
+        assert args.out is None
+
+    def test_replicate_overrides(self):
+        args = build_parser().parse_args(
+            ["replicate", "--seed", "3", "--sweeps", "2", "--replicas", "3",
+             "--heartbeat-us", "50000", "--out", "rep.jsonl"]
+        )
+        assert args.seed == 3
+        assert args.sweeps == 2
+        assert args.replicas == 3
+        assert args.heartbeat_us == 50_000.0
+        assert args.out == "rep.jsonl"
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"
@@ -327,6 +348,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pipelined crash sweep" in out
         assert "no speculative state survived" in out
+
+    def test_replicate_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "replicate.jsonl"
+        argv = [
+            "replicate", "--seed", "0", "--sweeps", "1", "--txs", "4",
+            "--warmup", "1", "--threads", "4", "--out", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "RPO=0" not in out  # JSONL on stdout, prose only on failure
+        assert "Replication summary" in out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["ok"] is True
+        assert record["failovers"] == record["sites"] * record["executors"]
+        assert record["stale_frames_rejected"] > 0
+        assert record["divergences"] == []
+        assert record["min_failover_us"] >= 150_000.0
 
     def test_loadgen_small(self, capsys, tmp_path):
         import json
